@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale X] all
+//	experiments [-seed N] [-scale X] table1 table2 ... fig11 e2e
+//
+// Scale 1 is the fast default; larger values approach the paper's
+// budgets (table6 at scale 1 takes a couple of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rhohammer/internal/experiments"
+)
+
+var runners = []struct {
+	name string
+	run  func(experiments.Config) experiments.Renderer
+}{
+	{"table1", func(c experiments.Config) experiments.Renderer { return experiments.Table1(c) }},
+	{"table2", func(c experiments.Config) experiments.Renderer { return experiments.Table2(c) }},
+	{"fig3", func(c experiments.Config) experiments.Renderer { return experiments.Fig3(c) }},
+	{"fig4", func(c experiments.Config) experiments.Renderer { return experiments.Fig4(c) }},
+	{"table4", func(c experiments.Config) experiments.Renderer { return experiments.Table4(c) }},
+	{"table5", func(c experiments.Config) experiments.Renderer { return experiments.Table5(c) }},
+	{"fig6", func(c experiments.Config) experiments.Renderer { return experiments.Fig6(c) }},
+	{"fig8", func(c experiments.Config) experiments.Renderer { return experiments.Fig8(c) }},
+	{"fig9", func(c experiments.Config) experiments.Renderer { return experiments.Fig9(c) }},
+	{"fig10", func(c experiments.Config) experiments.Renderer { return experiments.Fig10(c) }},
+	{"table3", func(c experiments.Config) experiments.Renderer { return experiments.Table3(c) }},
+	{"table6", func(c experiments.Config) experiments.Renderer { return experiments.Table6(c) }},
+	{"fig11", func(c experiments.Config) experiments.Renderer { return experiments.Fig11(c) }},
+	{"e2e", func(c experiments.Config) experiments.Renderer { return experiments.E2E(c) }},
+	{"mitigations", func(c experiments.Config) experiments.Renderer { return experiments.Mitigations(c) }},
+	{"ablation-cs", func(c experiments.Config) experiments.Renderer { return experiments.AblationCounterSpec(c) }},
+	{"ablation-sampler", func(c experiments.Config) experiments.Renderer { return experiments.AblationSamplerSize(c) }},
+}
+
+func main() {
+	seed := flag.Int64("seed", 42, "random seed (results are deterministic in the seed)")
+	scale := flag.Float64("scale", 1, "workload scale; >1 approaches the paper's budgets")
+	asJSON := flag.Bool("json", false, "emit structured JSON instead of text")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+
+	selected := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, r := range runners {
+				selected[r.name] = true
+			}
+			continue
+		}
+		found := false
+		for _, r := range runners {
+			if r.name == a {
+				selected[a] = true
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)
+			usage()
+			os.Exit(2)
+		}
+	}
+
+	for _, r := range runners {
+		if !selected[r.name] {
+			continue
+		}
+		start := time.Now()
+		res := r.run(cfg)
+		if *asJSON {
+			if err := experiments.WriteJSON(os.Stdout, r.name, cfg, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		res.Render(os.Stdout)
+		fmt.Printf("[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-scale X] <experiment...|all>\nexperiments:")
+	for _, r := range runners {
+		fmt.Fprintf(os.Stderr, " %s", r.name)
+	}
+	fmt.Fprintln(os.Stderr)
+}

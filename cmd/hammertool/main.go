@@ -1,0 +1,124 @@
+// Command hammertool drives the hammering engine: fuzz for effective
+// non-uniform patterns, tune the counter-speculation NOP count, or sweep
+// a known-good pattern across physical locations.
+//
+// Usage:
+//
+//	hammertool [-arch A] [-dimm D] [-seed N] fuzz  [-patterns P] [-baseline]
+//	hammertool [-arch A] [-dimm D] [-seed N] tune
+//	hammertool [-arch A] [-dimm D] [-seed N] sweep [-locations L] [-baseline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/pattern"
+	"rhohammer/internal/sweep"
+)
+
+func main() {
+	archName := flag.String("arch", "Raptor Lake", "architecture")
+	dimmID := flag.String("dimm", "S3", "DIMM (S1..S5, H1, M1)")
+	seed := flag.Int64("seed", 1, "random seed")
+	patterns := flag.Int("patterns", 20, "fuzz: candidate patterns")
+	locations := flag.Int("locations", 24, "sweep: locations")
+	baseline := flag.Bool("baseline", false, "use the load-based baseline instead of rhoHammer")
+	banks := flag.Int("banks", 3, "multi-bank parallelism for rhoHammer")
+	nops := flag.Int("nops", 0, "NOP pseudo-barrier count (0 = tune automatically)")
+	ptrr := flag.Bool("ptrr", false, "enable the platform pTRR mitigation")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fatal("usage: hammertool [flags] fuzz|tune|sweep")
+	}
+
+	a, ok := arch.ByName(*archName)
+	if !ok {
+		fatal("unknown architecture %q", *archName)
+	}
+	d, ok := arch.DIMMByID(*dimmID)
+	if !ok {
+		fatal("unknown DIMM %q", *dimmID)
+	}
+	s, err := hammer.NewSession(a, d, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	s.EnablePTRR(*ptrr)
+	fmt.Printf("platform: %s with DIMM %s (pTRR %v)\n", a, d, *ptrr)
+
+	cfg := hammer.Baseline()
+	if !*baseline {
+		n := *nops
+		if n == 0 {
+			n = autoTune(s, *banks)
+		}
+		cfg = hammer.RhoHammer(a, *banks, n)
+	}
+	fmt.Printf("strategy: %s\n", cfg)
+
+	switch flag.Arg(0) {
+	case "fuzz":
+		rep, err := s.Fuzz(cfg, hammer.FuzzOptions{Patterns: *patterns})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("fuzzed %d patterns: %d effective, %d total flips\n",
+			rep.Tried, rep.Effective, rep.TotalFlips)
+		if rep.Best.Pattern != nil {
+			fmt.Printf("best pattern (%d flips): %s\n", rep.Best.Flips, rep.Best.Pattern)
+			ref, err := s.Refine(rep.Best.Pattern, cfg, 4, 3, 150e6)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("refined over %d rounds (%d improvements): %d flips\n",
+				ref.Rounds, ref.Improvements, ref.Best.Flips)
+			if data, err := ref.Best.Pattern.Encode(); err == nil {
+				fmt.Printf("refined pattern JSON:\n%s\n", data)
+			}
+		}
+	case "tune":
+		base := cfg
+		base.Banks = 1
+		tune, err := s.TuneNops(pattern.KnownGood(), base, 1000, 50, 150e6, 2)
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, p := range tune.Curve {
+			fmt.Printf("nops %4d: %d flips\n", p.Nops, p.Flips)
+		}
+		fmt.Printf("optimum: %d NOPs (%d flips)\n", tune.BestNops, tune.BestFlips)
+	case "sweep":
+		res, err := sweep.Run(s, pattern.KnownGood(), cfg, sweep.Options{
+			Locations: *locations, Bank: -1,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("swept %d locations: %d flips, %.0f flips/min (simulated)\n",
+			*locations, res.TotalFlips, res.FlipsPerMinute())
+	default:
+		fatal("unknown subcommand %q", flag.Arg(0))
+	}
+}
+
+// autoTune runs a quick tuning pass at the configured bank width and
+// returns the optimal NOP count (the optimum shrinks as interleaving
+// itself spreads per-bank accesses).
+func autoTune(s *hammer.Session, banks int) int {
+	base := hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: banks, Obfuscate: true}
+	tune, err := s.TuneNops(pattern.KnownGood(), base, 600, 100, 120e6, 1)
+	if err != nil || tune.BestFlips == 0 {
+		return 200 // sensible fallback
+	}
+	return tune.BestNops
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,89 @@
+// Command remap reverse-engineers a platform's DRAM address mapping
+// with ρHammer's Algorithm 1 (or one of the baseline tools) and checks
+// the result against the platform's ground truth.
+//
+// Usage:
+//
+//	remap [-arch "Raptor Lake"] [-dimm S3] [-tool rhohammer|drama|dramdig|dare] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+	"rhohammer/internal/mapping"
+	"rhohammer/internal/mem"
+	"rhohammer/internal/memctrl"
+	"rhohammer/internal/reverse"
+	"rhohammer/internal/stats"
+	"rhohammer/internal/timing"
+)
+
+func main() {
+	archName := flag.String("arch", "Raptor Lake", "architecture (Comet Lake, Rocket Lake, Alder Lake, Raptor Lake)")
+	dimmID := flag.String("dimm", "S3", "DIMM (S1..S5, H1, M1)")
+	tool := flag.String("tool", "rhohammer", "rhohammer, drama, dramdig or dare")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	a, ok := arch.ByName(*archName)
+	if !ok {
+		fatal("unknown architecture %q", *archName)
+	}
+	d, ok := arch.DIMMByID(*dimmID)
+	if !ok {
+		fatal("unknown DIMM %q", *dimmID)
+	}
+	truth, ok := mapping.ForPlatform(a.MappingFamily, d.SizeGiB)
+	if !ok {
+		fatal("no mapping for %s at %d GiB", a.MappingFamily, d.SizeGiB)
+	}
+
+	r := stats.NewRand(*seed)
+	dev := dram.NewDevice(d, *seed)
+	ctrl := memctrl.New(a, truth, dev)
+	meas := timing.NewMeasurer(ctrl, r)
+	pool := mem.NewPool(truth.Size(), 0.7, r)
+
+	fmt.Printf("platform: %s with DIMM %s\n", a, d)
+	fmt.Printf("tool:     %s\n", *tool)
+
+	var res reverse.Result
+	switch *tool {
+	case "rhohammer":
+		res = reverse.Recover(meas, pool, reverse.Options{})
+	case "drama":
+		res = reverse.RecoverDRAMA(meas, pool, reverse.Options{})
+	case "dramdig":
+		res = reverse.RecoverDRAMDig(meas, pool, reverse.Options{})
+	case "dare":
+		res = reverse.RecoverDARE(meas, pool, reverse.Options{})
+	default:
+		fatal("unknown tool %q", *tool)
+	}
+
+	fmt.Printf("threshold: %.1f ns (fast mode %.1f, slow mode %.1f)\n",
+		res.Threshold.Threshold, res.Threshold.FastMode, res.Threshold.SlowMode)
+	fmt.Printf("measurements: %d (%d DRAM accesses), simulated runtime %.1f s\n",
+		res.Measurements, res.Accesses, res.Seconds())
+	if !res.OK() {
+		fmt.Printf("recovery FAILED: %v\n", res.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("recovered: %s\n", res.Mapping)
+	fmt.Printf("truth:     %s\n", truth)
+	if res.Mapping.Equal(truth) {
+		fmt.Println("result: CORRECT")
+	} else {
+		fmt.Println("result: INCORRECT")
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

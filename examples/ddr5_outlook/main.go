@@ -1,0 +1,65 @@
+// DDR5 outlook (§6): run ρHammer's full pipeline against a DDR5 module
+// with refresh management (RFM). The mapping — now including a
+// sub-channel function — is still recovered in seconds, but no hammering
+// strategy produces a single bit flip: RFM's per-RAAIMT mitigation
+// window is too tight for decoy patterns, matching the paper's (and
+// Posthammer's) observation that DDR5 resists all known non-uniform
+// patterns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rhohammer"
+)
+
+func main() {
+	atk, err := rhohammer.NewAttack(rhohammer.Options{
+		Arch: rhohammer.RaptorLake(),
+		DIMM: rhohammer.DIMMD1(), // DDR5-4800 with RFM
+		Seed: 13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %s, DIMM %s (DDR5, RAAIMT=%d)\n",
+		atk.Arch(), atk.DIMM(), atk.DIMM().RAAIMT)
+
+	// Reverse-engineering still works: the sub-channel function shows
+	// up as one more XOR bank function, which is all the attack needs.
+	res := atk.RecoverMappingDetailed()
+	if !res.OK() {
+		log.Fatalf("recovery failed: %v", res.Err)
+	}
+	fmt.Printf("recovered DDR5 mapping (%.1fs simulated):\n  %s\n", res.Seconds(), res.Mapping)
+	if res.Mapping.Equal(atk.GroundTruthMapping()) {
+		fmt.Println("  (matches ground truth, sub-channel function included)")
+	}
+
+	// Hammering, however, finds nothing — under any strategy.
+	for _, st := range []struct {
+		name string
+		cfg  rhohammer.HammerConfig
+	}{
+		{"baseline load", rhohammer.BaselineConfig()},
+		{"rhoHammer single-bank", atk.RecommendedSingleBankConfig()},
+		{"rhoHammer multi-bank", atk.RecommendedConfig()},
+	} {
+		r, err := atk.Hammer(rhohammer.KnownGood(), st.cfg, 0, 4096, 300e6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %d flips (%d RFM sweeps fired)\n",
+			st.name+":", r.FlipCount(), atk.Session().Dev.RFMEvents())
+	}
+
+	rep, err := atk.Fuzz(rhohammer.FuzzOptions{Patterns: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fuzzing campaign:         %d/%d effective patterns, %d flips\n",
+		rep.Effective, rep.Tried, rep.TotalFlips)
+	fmt.Println("\nDDR5 verdict: mapping recoverable, activation rate intact,")
+	fmt.Println("but RFM denies every TRR-style evasion — future work, as §6 says.")
+}

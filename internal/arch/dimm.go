@@ -1,0 +1,206 @@
+package arch
+
+import "fmt"
+
+// DIMM describes one DDR4 UDIMM under test (one row of Table 2), plus
+// the behavioral vulnerability parameters the DRAM model needs.
+type DIMM struct {
+	ID             string // "S1" .. "S5", "H1", "M1"
+	Vendor         string // anonymized vendor family, per the paper
+	ProductionDate string // "W35-2023" etc.
+	FreqMHz        int
+	SizeGiB        int
+	Ranks          int
+	BanksPerRank   int
+	RowsPerBank    uint64
+
+	// --- RowHammer vulnerability model ---
+
+	// Flippable marks whether the DIMM exhibits activation-induced bit
+	// flips at all under any strategy tested. M1 never flipped in the
+	// paper (its 2024-era cells are simply too strong), and is modeled
+	// as not flippable.
+	Flippable bool
+
+	// WeakCellsPerRowLambda is the Poisson mean of flippable cells per
+	// row. Together with the threshold distribution it sets the
+	// DIMM's overall flip yield (Table 6 column magnitudes).
+	WeakCellsPerRowLambda float64
+
+	// ThresholdMu and ThresholdSigma parameterize the log-normal
+	// distribution of per-cell disturbance thresholds, in aggressor
+	// activations within one refresh window.
+	ThresholdMu    float64
+	ThresholdSigma float64
+
+	// --- TRR model ---
+
+	// TRRSamplerSize is the number of candidate aggressor rows the
+	// in-DRAM sampler tracks between refresh commands.
+	TRRSamplerSize int
+
+	// TRRRefreshPerREF is how many sampled aggressors have their
+	// neighborhood proactively refreshed at each REF.
+	TRRRefreshPerREF int
+
+	// --- DDR5 refresh management (RFM), §6 ---
+
+	// DDR5 marks a DDR5 module: doubled refresh rate, on-die ECC, and
+	// the RFM mitigation below. The paper observed no effective
+	// pattern on any DDR5 setup.
+	DDR5 bool
+
+	// RAAIMT is the rolling accumulated ACT initial management
+	// threshold: after this many activations a bank must receive an
+	// RFM command, giving the device a mitigation opportunity.
+	RAAIMT int
+
+	// RFMSamplerSize and RFMRefreshPerSweep parameterize the per-bank
+	// aggressor tracking the device performs between RFM commands —
+	// far deeper than DDR4 TRR, which is why decoy patterns stop
+	// working.
+	RFMSamplerSize     int
+	RFMRefreshPerSweep int
+}
+
+// TotalBanks returns the number of geographic banks (ranks x banks).
+func (d *DIMM) TotalBanks() int { return d.Ranks * d.BanksPerRank }
+
+// String implements fmt.Stringer.
+func (d *DIMM) String() string {
+	gen := "DDR4"
+	if d.DDR5 {
+		gen = "DDR5"
+	}
+	return fmt.Sprintf("%s (%s, %s-%d, %dGiB, RK=%d BK=%d R=%d)",
+		d.ID, d.ProductionDate, gen, d.FreqMHz, d.SizeGiB, d.Ranks, d.BanksPerRank, d.RowsPerBank)
+}
+
+// The seven DIMMs of Table 2. Vulnerability calibrations follow the
+// ordering observed in Table 6: S4 >= S3 > S1 ~ S2 >> S5 > H1 >> M1 (0).
+
+// DIMMS1 returns vendor-S DIMM S1 (W35-2023, 16 GiB dual-rank).
+func DIMMS1() *DIMM {
+	return &DIMM{
+		ID: "S1", Vendor: "S", ProductionDate: "W35-2023",
+		FreqMHz: 3200, SizeGiB: 16, Ranks: 2, BanksPerRank: 16, RowsPerBank: 1 << 16,
+		Flippable:             true,
+		WeakCellsPerRowLambda: 0.9,
+		ThresholdMu:           11.22, ThresholdSigma: 0.22,
+		TRRSamplerSize: 6, TRRRefreshPerREF: 2,
+	}
+}
+
+// DIMMS2 returns vendor-S DIMM S2 (W33-2021, 8 GiB single-rank).
+func DIMMS2() *DIMM {
+	return &DIMM{
+		ID: "S2", Vendor: "S", ProductionDate: "W33-2021",
+		FreqMHz: 3200, SizeGiB: 8, Ranks: 1, BanksPerRank: 16, RowsPerBank: 1 << 16,
+		Flippable:             true,
+		WeakCellsPerRowLambda: 1.3,
+		ThresholdMu:           11.16, ThresholdSigma: 0.22,
+		TRRSamplerSize: 6, TRRRefreshPerREF: 2,
+	}
+}
+
+// DIMMS3 returns vendor-S DIMM S3 (W30-2020, 16 GiB dual-rank).
+func DIMMS3() *DIMM {
+	return &DIMM{
+		ID: "S3", Vendor: "S", ProductionDate: "W30-2020",
+		FreqMHz: 2933, SizeGiB: 16, Ranks: 2, BanksPerRank: 16, RowsPerBank: 1 << 16,
+		Flippable:             true,
+		WeakCellsPerRowLambda: 2.1,
+		ThresholdMu:           11.05, ThresholdSigma: 0.25,
+		TRRSamplerSize: 6, TRRRefreshPerREF: 2,
+	}
+}
+
+// DIMMS4 returns vendor-S DIMM S4 (W49-2018, 16 GiB dual-rank), the most
+// flip-prone module in the paper.
+func DIMMS4() *DIMM {
+	return &DIMM{
+		ID: "S4", Vendor: "S", ProductionDate: "W49-2018",
+		FreqMHz: 2666, SizeGiB: 16, Ranks: 2, BanksPerRank: 16, RowsPerBank: 1 << 16,
+		Flippable:             true,
+		WeakCellsPerRowLambda: 2.4,
+		ThresholdMu:           11.00, ThresholdSigma: 0.26,
+		TRRSamplerSize: 6, TRRRefreshPerREF: 2,
+	}
+}
+
+// DIMMS5 returns vendor-S DIMM S5 (W22-2017, 16 GiB dual-rank), an older
+// but much less vulnerable module.
+func DIMMS5() *DIMM {
+	return &DIMM{
+		ID: "S5", Vendor: "S", ProductionDate: "W22-2017",
+		FreqMHz: 2400, SizeGiB: 16, Ranks: 2, BanksPerRank: 16, RowsPerBank: 1 << 16,
+		Flippable:             true,
+		WeakCellsPerRowLambda: 0.15,
+		ThresholdMu:           11.42, ThresholdSigma: 0.20,
+		TRRSamplerSize: 8, TRRRefreshPerREF: 2,
+	}
+}
+
+// DIMMH1 returns vendor-H DIMM H1 (W13-2020, 16 GiB dual-rank).
+func DIMMH1() *DIMM {
+	return &DIMM{
+		ID: "H1", Vendor: "H", ProductionDate: "W13-2020",
+		FreqMHz: 2666, SizeGiB: 16, Ranks: 2, BanksPerRank: 16, RowsPerBank: 1 << 16,
+		Flippable:             true,
+		WeakCellsPerRowLambda: 0.10,
+		ThresholdMu:           11.45, ThresholdSigma: 0.20,
+		TRRSamplerSize: 10, TRRRefreshPerREF: 2,
+	}
+}
+
+// DIMMM1 returns vendor-M DIMM M1 (W01-2024, 32 GiB dual-rank with 2^17
+// rows). No strategy in the paper produced a single flip on it.
+func DIMMM1() *DIMM {
+	return &DIMM{
+		ID: "M1", Vendor: "M", ProductionDate: "W01-2024",
+		FreqMHz: 3200, SizeGiB: 32, Ranks: 2, BanksPerRank: 16, RowsPerBank: 1 << 17,
+		Flippable:             false,
+		WeakCellsPerRowLambda: 0,
+		ThresholdMu:           13.0, ThresholdSigma: 0.2,
+		TRRSamplerSize: 12, TRRRefreshPerREF: 4,
+	}
+}
+
+// DIMMD1 returns a DDR5 UDIMM in the spirit of the paper's §6 DDR5
+// setups: cells as weak as a mid-vulnerability DDR4 module, but guarded
+// by refresh management (RFM). No hammering strategy in this repository
+// produces a flip on it — reproducing the paper's (and Posthammer's)
+// DDR5 observation.
+func DIMMD1() *DIMM {
+	return &DIMM{
+		ID: "D1", Vendor: "S", ProductionDate: "W20-2024",
+		FreqMHz: 4800, SizeGiB: 16, Ranks: 2, BanksPerRank: 32, RowsPerBank: 1 << 16,
+		Flippable:             true,
+		WeakCellsPerRowLambda: 1.5,
+		ThresholdMu:           11.05, ThresholdSigma: 0.25,
+		TRRSamplerSize: 8, TRRRefreshPerREF: 2,
+		DDR5:   true,
+		RAAIMT: 64, RFMSamplerSize: 24, RFMRefreshPerSweep: 4,
+	}
+}
+
+// AllDIMMs returns the seven modules in Table 2 order. The DDR5 module
+// D1 (§6) is deliberately excluded: the paper's evaluation matrix is
+// DDR4-only.
+func AllDIMMs() []*DIMM {
+	return []*DIMM{DIMMS1(), DIMMS2(), DIMMS3(), DIMMS4(), DIMMS5(), DIMMH1(), DIMMM1()}
+}
+
+// DIMMByID returns the DIMM profile with the given ID ("S1".."M1",
+// plus the DDR5 module "D1").
+func DIMMByID(id string) (*DIMM, bool) {
+	if id == "D1" {
+		return DIMMD1(), true
+	}
+	for _, d := range AllDIMMs() {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return nil, false
+}

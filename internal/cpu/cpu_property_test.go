@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rhohammer/internal/arch"
+)
+
+// Property: accounting identities hold for arbitrary programs — every
+// access is either a hit or a miss, activations never exceed misses,
+// and time moves forward.
+func TestRunAccountingProperty(t *testing.T) {
+	f := func(lineSel []uint8, nopRaw uint8, archSel uint8) bool {
+		archs := arch.All()
+		a := archs[int(archSel)%len(archs)]
+		e, p := propEngine(t, a, 8)
+		if len(lineSel) == 0 {
+			lineSel = []uint8{0}
+		}
+		for _, s := range lineSel {
+			line := int32(s) % 8
+			kind := OpPrefetch
+			if s%3 == 0 {
+				kind = OpLoad
+			}
+			p.Ops = append(p.Ops, Op{Kind: kind, Line: line, Hint: Hint(s % 4)})
+			p.Ops = append(p.Ops, Op{Kind: OpFlush, Line: line})
+			if nopRaw > 0 {
+				p.Ops = append(p.Ops, Op{Kind: OpNop, N: int32(nopRaw)})
+			}
+		}
+		res := e.Run(p, 20, Config{Style: Style(archSel % 2)})
+		if res.Hits+res.Misses != res.Accesses {
+			return false
+		}
+		if res.ACTs > res.Misses {
+			return false
+		}
+		if res.TimeNS < 0 || res.EndTime < res.StartTime {
+			return false
+		}
+		return res.Accesses == uint64(20*len(lineSel))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding NOPs never decreases the miss rate of a prefetch
+// hammer loop (ordering monotonicity of the pseudo-barrier).
+func TestNopMonotonicityProperty(t *testing.T) {
+	a := arch.RaptorLake()
+	missAt := func(nops int32) float64 {
+		e, p := propEngine(t, a, 10)
+		for i := 0; i < 10; i++ {
+			p.Ops = append(p.Ops, Op{Kind: OpPrefetch, Line: int32(i), Hint: HintT2})
+			p.Ops = append(p.Ops, Op{Kind: OpFlush, Line: int32(i)})
+			if nops > 0 {
+				p.Ops = append(p.Ops, Op{Kind: OpNop, N: nops})
+			}
+		}
+		return e.Run(p, 400, Config{Style: StyleCPP, Obfuscate: true}).MissRate()
+	}
+	prev := missAt(0)
+	for _, n := range []int32{50, 150, 300, 600} {
+		cur := missAt(n)
+		if cur+0.05 < prev { // tolerate stochastic wiggle
+			t.Errorf("miss rate decreased from %.3f to %.3f at %d NOPs", prev, cur, n)
+		}
+		prev = cur
+	}
+}
+
+// propEngine builds an engine without failing the property closure.
+func propEngine(t *testing.T, a *arch.Arch, lines int) (*Engine, *Program) {
+	t.Helper()
+	e, p := testEngine(t, a, lines)
+	return e, p
+}

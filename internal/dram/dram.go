@@ -1,0 +1,448 @@
+// Package dram models a DDR4 DRAM device at the granularity RowHammer
+// cares about: per-row activation-disturbance accumulation within refresh
+// windows, per-cell flip thresholds, regular refresh, and the in-DRAM
+// Target Row Refresh (TRR) mitigation plus the platform-level pTRR option
+// discussed in §6 of the paper.
+//
+// The model deliberately ignores columns and data transfer (the paper
+// excludes RowPress and column addressing): an activation is the unit of
+// disturbance, and a bit flip is a (bank, row, byte, bit, direction)
+// tuple.
+package dram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rhohammer/internal/arch"
+)
+
+// Timing constants of the refresh machinery (DDR4 defaults).
+const (
+	TREFIns       = 7800.0 // average refresh command interval, ns
+	RefreshSlices = 8192   // tREFW / tREFI: each row refreshed every 8192 REFs
+	RowBytes      = 8192   // bytes per row (8 KB typical for x8 DDR4)
+)
+
+// Flip records one observed bit flip.
+type Flip struct {
+	Bank      int
+	Row       uint64
+	ByteInRow int
+	Bit       uint8
+	// Direction is true for a 1->0 flip (charged cell drained), false
+	// for 0->1. Whether a flip is *observable* depends on the data
+	// pattern the attacker initialized the victim row with.
+	OneToZero bool
+	// Time is the simulation timestamp (ns) at which the cell crossed
+	// its disturbance threshold.
+	Time float64
+}
+
+// VisibleUnder reports whether the flip would be observable when the
+// victim row was initialized with the given repeating byte pattern: a
+// cell can only be seen flipping 1->0 if the pattern stored a 1 there,
+// and 0->1 if it stored a 0. Real templating scans with complementary
+// patterns (e.g. 0x55 then 0xAA) to expose both directions.
+func (f Flip) VisibleUnder(dataPattern byte) bool {
+	storedOne := dataPattern&(1<<f.Bit) != 0
+	return storedOne == f.OneToZero
+}
+
+// String implements fmt.Stringer.
+func (f Flip) String() string {
+	dir := "0->1"
+	if f.OneToZero {
+		dir = "1->0"
+	}
+	return fmt.Sprintf("bank %d row %d byte %d bit %d (%s)", f.Bank, f.Row, f.ByteInRow, f.Bit, dir)
+}
+
+// weakCell is one flippable cell of a row, pre-drawn deterministically
+// from the DIMM's vulnerability distribution.
+type weakCell struct {
+	threshold float64 // activations-within-window needed to flip
+	byteInRow int
+	bit       uint8
+	oneToZero bool
+	flipped   bool
+}
+
+// rowState tracks the RowHammer-relevant state of one row that has seen
+// neighbor activity. Rows are materialized lazily; an idle device uses no
+// per-row memory.
+type rowState struct {
+	disturbance  float64 // accumulated neighbor activations this window
+	minThresh    float64 // cheapest threshold among unflipped weak cells
+	epoch        uint64  // refresh epoch at the last disturbance update
+	materialized bool    // weak-cell population drawn
+	cells        []weakCell
+}
+
+// materializeFloor defers drawing a row's weak-cell population until its
+// in-window disturbance reaches this level. Real thresholds are tens of
+// thousands, so the deferral never changes behaviour — it only keeps
+// casually touched rows (e.g. during timing measurements) cheap.
+const materializeFloor = 512
+
+// Device is one simulated DIMM attached to a memory controller.
+type Device struct {
+	DIMM *arch.DIMM
+	Seed int64
+
+	// PTRR enables the platform pseudo-TRR mitigation ("Rowhammer
+	// Prevention" BIOS option, §6): the memory controller tracks the
+	// most-activated rows with near-perfect fidelity and preemptively
+	// refreshes their neighborhoods at every REF.
+	PTRR bool
+
+	banks    int
+	rows     uint64
+	rowsMask uint64
+
+	// touched maps bank -> row -> state, for rows adjacent to any
+	// activated row.
+	touched []map[uint64]*rowState
+
+	// trr holds the per-bank TRR sampler state (cleared every REF);
+	// real DDR4 TRR logic operates independently per bank.
+	trr []trrSampler
+
+	// ptrrCounts tracks per-REF activation counts for the pTRR model.
+	ptrrCounts map[uint64]int
+
+	flips     []Flip
+	refCount  uint64 // total REF commands issued
+	actCount  uint64
+	trrEvents uint64
+
+	// actCounts tracks per-row activation totals for diagnostics and
+	// the experiment harness (cleared by Reset).
+	actCounts map[uint64]uint64
+
+	// rfm holds the DDR5 refresh-management state (nil on DDR4).
+	rfm       []rfmState
+	rfmEvents uint64
+
+	// rowSwap holds the randomized row-swap mitigation state (§6).
+	rowSwap       rowSwapState
+	rowSwapEvents uint64
+
+	// OnTRR, if set, is invoked for every targeted refresh with the
+	// identified aggressor. Diagnostics and tests only.
+	OnTRR func(bank int, row uint64)
+
+	// OnRefresh, if set, is invoked at each REF with the bank-0 sampler
+	// snapshot (keys and counts). Diagnostics and tests only.
+	OnRefresh func(keys []uint64, counts []int)
+}
+
+// NewDevice builds a device for the given DIMM profile. Seed fixes the
+// per-cell vulnerability map: two devices with the same DIMM and seed
+// flip the exact same cells, which is how the paper's "flips depend on
+// physical location" observation (Orosa et al.) is reproduced.
+func NewDevice(d *arch.DIMM, seed int64) *Device {
+	dev := &Device{
+		DIMM:     d,
+		Seed:     seed,
+		banks:    d.TotalBanks(),
+		rows:     d.RowsPerBank,
+		rowsMask: d.RowsPerBank - 1,
+	}
+	dev.touched = make([]map[uint64]*rowState, dev.banks)
+	for i := range dev.touched {
+		dev.touched[i] = make(map[uint64]*rowState)
+	}
+	dev.trr = make([]trrSampler, dev.banks)
+	for i := range dev.trr {
+		dev.trr[i] = newTRRSampler(d.TRRSamplerSize)
+	}
+	dev.ptrrCounts = make(map[uint64]int)
+	dev.actCounts = make(map[uint64]uint64)
+	dev.initRFM()
+	return dev
+}
+
+// Banks returns the number of geographic banks.
+func (d *Device) Banks() int { return d.banks }
+
+// Rows returns the number of rows per bank.
+func (d *Device) Rows() uint64 { return d.rows }
+
+// ActivationCount returns the total number of ACT commands seen.
+func (d *Device) ActivationCount() uint64 { return d.actCount }
+
+// TRREvents returns how many targeted refreshes TRR has issued.
+func (d *Device) TRREvents() uint64 { return d.trrEvents }
+
+// blast returns the disturbance one activation deposits on a neighbor at
+// the given row distance. Distance-2 coupling is an order of magnitude
+// weaker (Half-Double-style far aggressors are out of scope but the
+// coupling keeps double-sided patterns realistically stronger than
+// single-sided ones).
+func blast(dist int) float64 {
+	switch dist {
+	case 1:
+		return 1.0
+	case 2:
+		return 0.08
+	default:
+		return 0
+	}
+}
+
+// Activate registers one ACT on (bank, row) at simulation time now (ns).
+// It deposits disturbance on the neighboring rows and records any cells
+// whose thresholds are crossed.
+func (d *Device) Activate(bank int, row uint64, now float64) {
+	d.actCount++
+	d.actCounts[row|uint64(bank)<<48]++
+	if d.rowSwap.enabled {
+		// The swap layer sits between the address and the physical
+		// array: everything below — disturbance, TRR sampling, RFM —
+		// sees the row's current physical location.
+		d.rowSwapObserve(bank, row)
+		row = d.swapTarget(bank, row)
+	}
+	d.trr[bank].observe(row)
+	if d.PTRR {
+		d.ptrrCounts[row|uint64(bank)<<48]++
+	}
+	if d.DIMM.DDR5 {
+		d.rfmObserve(bank, row)
+	}
+	for dist := 1; dist <= 2; dist++ {
+		w := blast(dist)
+		if row >= uint64(dist) {
+			d.disturb(bank, row-uint64(dist), w, now)
+		}
+		if row+uint64(dist) < d.rows {
+			d.disturb(bank, row+uint64(dist), w, now)
+		}
+	}
+}
+
+// rowEpoch returns how many times the row's refresh slice has been
+// refreshed so far; a change since the last update means the row was
+// refreshed in between and its window accumulator restarts.
+func (d *Device) rowEpoch(row uint64) uint64 {
+	rowsPerSlice := d.rows / RefreshSlices
+	if rowsPerSlice == 0 {
+		rowsPerSlice = 1
+	}
+	slice := row / rowsPerSlice
+	if slice >= RefreshSlices {
+		slice = RefreshSlices - 1
+	}
+	return (d.refCount + RefreshSlices - 1 - slice) / RefreshSlices
+}
+
+// disturb adds disturbance w to a victim row and fires flips.
+func (d *Device) disturb(bank int, row uint64, w float64, now float64) {
+	st := d.touched[bank][row]
+	if st == nil {
+		st = &rowState{minThresh: math.Inf(1)}
+		d.touched[bank][row] = st
+	}
+	if e := d.rowEpoch(row); e != st.epoch {
+		// The row's regular refresh passed since the last update:
+		// its disturbance window restarted.
+		st.epoch = e
+		st.disturbance = 0
+	}
+	st.disturbance += w
+	if !st.materialized {
+		if st.disturbance < materializeFloor {
+			return
+		}
+		d.materializeRow(bank, row, st)
+	}
+	if st.disturbance < st.minThresh {
+		return
+	}
+	// One or more cells crossed their thresholds.
+	next := math.Inf(1)
+	for i := range st.cells {
+		c := &st.cells[i]
+		if c.flipped {
+			continue
+		}
+		if st.disturbance >= c.threshold {
+			c.flipped = true
+			d.flips = append(d.flips, Flip{
+				Bank: bank, Row: row,
+				ByteInRow: c.byteInRow, Bit: c.bit,
+				OneToZero: c.oneToZero, Time: now,
+			})
+		} else if c.threshold < next {
+			next = c.threshold
+		}
+	}
+	st.minThresh = next
+}
+
+// materializeRow draws the weak-cell population of a row from the
+// DIMM's vulnerability distribution, deterministically in (seed, bank,
+// row) — the same cells appear no matter when or in which run the row
+// is first pressured.
+func (d *Device) materializeRow(bank int, row uint64, st *rowState) {
+	st.materialized = true
+	st.minThresh = math.Inf(1)
+	if !d.DIMM.Flippable {
+		return
+	}
+	h := newHashRand(d.Seed, uint64(bank), row)
+	n := h.poisson(d.DIMM.WeakCellsPerRowLambda)
+	if n == 0 {
+		return
+	}
+	st.cells = make([]weakCell, n)
+	for i := range st.cells {
+		c := &st.cells[i]
+		c.threshold = math.Exp(h.norm()*d.DIMM.ThresholdSigma + d.DIMM.ThresholdMu)
+		c.byteInRow = int(h.next() % RowBytes)
+		c.bit = uint8(h.next() % 8)
+		c.oneToZero = h.next()&1 == 0
+		if c.threshold < st.minThresh {
+			st.minThresh = c.threshold
+		}
+	}
+}
+
+// Refresh executes one REF command at simulation time now: the rotating
+// 1/8192 slice of every bank is refreshed, TRR fires its targeted
+// refreshes, and (if enabled) pTRR refreshes the hottest neighborhoods.
+func (d *Device) Refresh(now float64) {
+	// Regular refresh of the rotating row slice is applied lazily via
+	// rowEpoch; only the counter advances here.
+	d.refCount++
+
+	if d.OnRefresh != nil {
+		d.OnRefresh(d.trr[0].keys, d.trr[0].counts)
+	}
+
+	// TRR: each bank's logic proactively refreshes the neighborhood of
+	// its sampler's top candidates, then clears for the next interval.
+	for bank := range d.trr {
+		for _, row := range d.trr[bank].top(d.DIMM.TRRRefreshPerREF) {
+			d.refreshNeighborhood(bank, row)
+		}
+		d.trr[bank].clear()
+	}
+
+	if d.PTRR {
+		d.ptrrSweep()
+	}
+}
+
+// refreshNeighborhood resets the disturbance of rows adjacent to an
+// identified aggressor (the TRR action).
+func (d *Device) refreshNeighborhood(bank int, row uint64) {
+	d.trrEvents++
+	if d.OnTRR != nil {
+		d.OnTRR(bank, row)
+	}
+	for dist := uint64(1); dist <= 2; dist++ {
+		if row >= dist {
+			if st := d.touched[bank][row-dist]; st != nil {
+				st.disturbance = 0
+			}
+		}
+		if row+dist < d.rows {
+			if st := d.touched[bank][row+dist]; st != nil {
+				st.disturbance = 0
+			}
+		}
+	}
+}
+
+// ptrrSweep is the platform mitigation: unlike the capacity-limited DRAM
+// sampler it sees every activation, so it reliably neutralizes all
+// heavily hammered rows each interval.
+func (d *Device) ptrrSweep() {
+	type rc struct {
+		key uint64
+		n   int
+	}
+	var hot []rc
+	for k, n := range d.ptrrCounts {
+		if n >= 3 {
+			hot = append(hot, rc{k, n})
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].n > hot[j].n })
+	if len(hot) > 64 {
+		hot = hot[:64]
+	}
+	for _, h := range hot {
+		d.refreshNeighborhood(int(h.key>>48), h.key&d.rowsMask)
+	}
+	clear(d.ptrrCounts)
+}
+
+// Flips returns all flips recorded since the last Reset.
+func (d *Device) Flips() []Flip { return d.flips }
+
+// Reset clears disturbance state and recorded flips, modeling the
+// attacker re-initializing victim memory between trials. The per-cell
+// vulnerability map (seeded) is preserved.
+func (d *Device) Reset() {
+	for bank := range d.touched {
+		for _, st := range d.touched[bank] {
+			st.disturbance = 0
+			st.epoch = 0
+			if !st.materialized {
+				continue
+			}
+			next := math.Inf(1)
+			for i := range st.cells {
+				st.cells[i].flipped = false
+				if st.cells[i].threshold < next {
+					next = st.cells[i].threshold
+				}
+			}
+			st.minThresh = next
+		}
+	}
+	d.flips = nil
+	for i := range d.trr {
+		d.trr[i].clear()
+	}
+	clear(d.ptrrCounts)
+	d.refCount = 0
+	d.actCount = 0
+	d.trrEvents = 0
+	clear(d.actCounts)
+	d.resetRFM()
+	d.resetRowSwap()
+}
+
+// ActCount reports the total activations a row has received since the
+// last Reset.
+func (d *Device) ActCount(bank int, row uint64) uint64 {
+	return d.actCounts[row|uint64(bank)<<48]
+}
+
+// RowDisturbance reports the current in-window disturbance of a row,
+// mainly for tests and diagnostics.
+func (d *Device) RowDisturbance(bank int, row uint64) float64 {
+	if st := d.touched[bank][row]; st != nil {
+		return st.disturbance
+	}
+	return 0
+}
+
+// WeakCellCount reports how many weak cells a row holds (materializing
+// it if needed) — used by tests and the templating analysis.
+func (d *Device) WeakCellCount(bank int, row uint64) int {
+	st := d.touched[bank][row]
+	if st == nil {
+		st = &rowState{minThresh: math.Inf(1)}
+		d.touched[bank][row] = st
+	}
+	if !st.materialized {
+		d.materializeRow(bank, row, st)
+	}
+	return len(st.cells)
+}

@@ -1,0 +1,72 @@
+package dram
+
+import "math"
+
+// hashRand is a tiny deterministic random stream keyed by (seed, bank,
+// row). It lets the device materialize a row's weak-cell population
+// lazily while guaranteeing the same cells appear no matter when — or in
+// which run — the row is first touched. splitmix64 is used as the mixer;
+// it is statistically strong enough for this purpose and extremely fast.
+type hashRand struct {
+	state uint64
+}
+
+func newHashRand(seed int64, bank, row uint64) hashRand {
+	s := uint64(seed)
+	s = mix64(s ^ 0x9e3779b97f4a7c15)
+	s = mix64(s ^ bank*0xbf58476d1ce4e5b9)
+	s = mix64(s ^ row*0x94d049bb133111eb)
+	return hashRand{state: s}
+}
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next returns the next 64-bit value of the stream.
+func (h *hashRand) next() uint64 {
+	h.state += 0x9e3779b97f4a7c15
+	z := h.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (h *hashRand) float64() float64 {
+	return float64(h.next()>>11) / (1 << 53)
+}
+
+// norm returns a standard normal deviate (Box-Muller).
+func (h *hashRand) norm() float64 {
+	u1 := h.float64()
+	for u1 == 0 {
+		u1 = h.float64()
+	}
+	u2 := h.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// poisson draws a Poisson(lambda) count using Knuth's method; lambda is
+// always small (< ~3) in this codebase so the loop is short.
+func (h *hashRand) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= h.float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 64 { // safety net; unreachable for sane lambda
+			return k
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHashRandDeterminism(t *testing.T) {
+	a := newHashRand(1, 2, 3)
+	b := newHashRand(1, 2, 3)
+	for i := 0; i < 50; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same key diverged")
+		}
+	}
+}
+
+func TestHashRandKeySeparation(t *testing.T) {
+	base := newHashRand(1, 2, 3)
+	variants := []hashRand{
+		newHashRand(2, 2, 3),
+		newHashRand(1, 3, 3),
+		newHashRand(1, 2, 4),
+	}
+	b0 := base.next()
+	for i, v := range variants {
+		if v.next() == b0 {
+			t.Errorf("variant %d produced the base stream's first value", i)
+		}
+	}
+}
+
+func TestHashRandFloatRange(t *testing.T) {
+	h := newHashRand(9, 9, 9)
+	for i := 0; i < 10000; i++ {
+		f := h.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestHashRandNormMoments(t *testing.T) {
+	h := newHashRand(5, 5, 5)
+	n := 20000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		x := h.norm()
+		sum += x
+		ss += x * x
+	}
+	mean := sum / float64(n)
+	variance := ss/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("norm variance = %v", variance)
+	}
+}
+
+func TestHashRandPoisson(t *testing.T) {
+	h := newHashRand(6, 6, 6)
+	if h.poisson(0) != 0 {
+		t.Error("poisson(0) != 0")
+	}
+	if h.poisson(-1) != 0 {
+		t.Error("poisson(-1) != 0")
+	}
+	n := 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(h.poisson(2.5))
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.5) > 0.1 {
+		t.Errorf("poisson mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestMix64NotIdentity(t *testing.T) {
+	if mix64(0) == 0 && mix64(1) == 1 {
+		t.Error("mix64 looks like identity")
+	}
+	if mix64(42) == mix64(43) {
+		t.Error("mix64 collision on adjacent inputs")
+	}
+}

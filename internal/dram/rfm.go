@@ -1,0 +1,68 @@
+package dram
+
+// DDR5 refresh management (RFM), the §6 "Towards Future Research on
+// DDR5" mechanism. JESD79-5 requires the memory controller to track a
+// rolling accumulated ACT (RAA) counter per bank and to issue an RFM
+// command once it reaches the RAAIMT threshold. Each RFM command hands
+// the device a guaranteed mitigation opportunity.
+//
+// Because the opportunity recurs every RAAIMT activations — dozens, not
+// the ~160 ACTs a DDR4 tREFI admits — and the device-side tracker is
+// deep enough to hold every row in a hammering pattern, decoy tuples can
+// no longer shield the true aggressors: every heavily activated row's
+// neighborhood is refreshed long before any cell approaches its
+// threshold. This is why neither the paper nor Posthammer found any
+// effective non-uniform pattern on DDR5, and this model reproduces that
+// outcome for every strategy in this repository.
+
+// rfmState is the per-bank refresh-management bookkeeping.
+type rfmState struct {
+	raa     int // rolling accumulated ACT counter since last RFM
+	sampler trrSampler
+}
+
+// initRFM prepares per-bank RFM state for a DDR5 device.
+func (d *Device) initRFM() {
+	if !d.DIMM.DDR5 {
+		return
+	}
+	d.rfm = make([]rfmState, d.banks)
+	for i := range d.rfm {
+		d.rfm[i].sampler = newTRRSampler(d.DIMM.RFMSamplerSize)
+	}
+}
+
+// rfmObserve accounts one activation against the bank's RAA counter and
+// fires the mitigation sweep when the RAAIMT threshold is reached.
+func (d *Device) rfmObserve(bank int, row uint64) {
+	st := &d.rfm[bank]
+	st.sampler.observe(row)
+	st.raa++
+	if st.raa < d.DIMM.RAAIMT {
+		return
+	}
+	// RFM command: the device refreshes the neighborhoods of its
+	// top-tracked aggressors and REMOVES them from the queue, while
+	// every other tracked row keeps its accumulated priority. This
+	// fair-service policy is what distinguishes RFM-era mitigations
+	// from the DDR4 samplers that decoy patterns game: a true
+	// aggressor's priority only ever grows until it is serviced.
+	for _, r := range st.sampler.popTop(d.DIMM.RFMRefreshPerSweep) {
+		d.refreshNeighborhood(bank, r)
+	}
+	st.raa = 0
+	d.rfmEvents++
+}
+
+// RFMEvents reports how many RFM mitigation sweeps the device has
+// performed (0 for DDR4 modules).
+func (d *Device) RFMEvents() uint64 { return d.rfmEvents }
+
+// resetRFM clears RFM state on Device.Reset.
+func (d *Device) resetRFM() {
+	for i := range d.rfm {
+		d.rfm[i].raa = 0
+		d.rfm[i].sampler.clear()
+	}
+	d.rfmEvents = 0
+}

@@ -1,0 +1,102 @@
+package dram
+
+// Randomized row-swap, one of the academic mitigations discussed in §6
+// (Saileshwar et al., Woo et al., Wi et al.): the device periodically
+// exchanges the contents of row pairs behind an internal remap table, so
+// that an attacker's activations stop concentrating disturbance on the
+// same physical victims. Following the RRS-style proposals, the row
+// selected for relocation is the most-activated one of the current
+// interval, and its partner is drawn (pseudo-)randomly; the remap layer
+// sits between the address and the array, so TRR and the disturbance
+// physics both see post-swap locations.
+//
+// The paper expects this class of defenses to break TRR-bypassing
+// patterns by dispersing activations; enabling it on any device in this
+// repository does exactly that (see the Mitigations experiment).
+
+// rowSwapState holds the per-device remap table and swap schedule.
+type rowSwapState struct {
+	enabled bool
+	period  uint64 // ACTs between swap opportunities, per device
+	counter uint64
+	// remap holds the sparse per-bank logical->physical row remapping;
+	// absent entries map to themselves.
+	remap []map[uint64]uint64
+	// counts tracks per-bank activation counts within the current
+	// swap interval; the hottest row is the one relocated.
+	counts []map[uint64]uint64
+}
+
+// EnableRowSwap turns on row-swapping with the given swap period
+// (activations between swap opportunities). A period of a few thousand
+// ACTs corresponds to the papers' lightweight configurations.
+func (d *Device) EnableRowSwap(period uint64) {
+	if period == 0 {
+		period = 2048
+	}
+	d.rowSwap.enabled = true
+	d.rowSwap.period = period
+	d.rowSwap.remap = make([]map[uint64]uint64, d.banks)
+	d.rowSwap.counts = make([]map[uint64]uint64, d.banks)
+	for i := range d.rowSwap.remap {
+		d.rowSwap.remap[i] = make(map[uint64]uint64)
+		d.rowSwap.counts[i] = make(map[uint64]uint64)
+	}
+}
+
+// swapTarget resolves a logical row through the remap table.
+func (d *Device) swapTarget(bank int, row uint64) uint64 {
+	if !d.rowSwap.enabled {
+		return row
+	}
+	if phys, ok := d.rowSwap.remap[bank][row]; ok {
+		return phys
+	}
+	return row
+}
+
+// rowSwapObserve records an activation; when the swap period elapses,
+// the interval's hottest row is exchanged with a pseudo-random partner,
+// so its accumulated pressure stops landing on the same neighbors.
+func (d *Device) rowSwapObserve(bank int, row uint64) {
+	rs := &d.rowSwap
+	rs.counts[bank][row]++
+	rs.counter++
+	if rs.counter%rs.period != 0 {
+		return
+	}
+	// Relocate every row whose in-interval count crossed the swap
+	// threshold — the RRS-style trigger. A pure hottest-row policy
+	// would chase the decoys and never move the true aggressors.
+	threshold := rs.period / 32
+	if threshold < 4 {
+		threshold = 4
+	}
+	swapped := 0
+	for r, n := range rs.counts[bank] {
+		if n < threshold || swapped >= 8 {
+			continue
+		}
+		h := newHashRand(d.Seed^0x505A, uint64(bank)<<32|r, rs.counter)
+		partner := h.next() % d.rows
+		va, pa := d.swapTarget(bank, r), d.swapTarget(bank, partner)
+		rs.remap[bank][r] = pa
+		rs.remap[bank][partner] = va
+		d.rowSwapEvents++
+		swapped++
+	}
+	clear(rs.counts[bank])
+}
+
+// RowSwapEvents reports how many swaps have occurred.
+func (d *Device) RowSwapEvents() uint64 { return d.rowSwapEvents }
+
+// resetRowSwap clears swap counters on Device.Reset (the remap table
+// persists — it is device-internal and survives attacker re-runs).
+func (d *Device) resetRowSwap() {
+	d.rowSwap.counter = 0
+	d.rowSwapEvents = 0
+	for i := range d.rowSwap.counts {
+		clear(d.rowSwap.counts[i])
+	}
+}

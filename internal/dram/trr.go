@@ -1,0 +1,118 @@
+package dram
+
+// trrSampler models the in-DRAM TRR aggressor sampler: a small table of
+// candidate aggressor rows with activation counters, maintained between
+// REF commands and cleared at each REF.
+//
+// The policy follows what TRRespass/Blacksmith reverse-engineered for
+// vendor samplers: the table tracks the first C distinct rows activated
+// after a REF (a hit increments the row's counter; when the table is
+// full, new rows are simply not tracked), and at the next REF the
+// neighborhoods of the top-counted entries are proactively refreshed.
+//
+// This deterministic, capacity-limited behaviour is exactly what
+// non-uniform hammering exploits: decoy rows activated early and often
+// in every interval own the table and the top-count slots, so the true
+// aggressors — tracked but with strictly lower counts, or not tracked at
+// all — are never selected for a targeted refresh. Conversely, when
+// speculative disorder randomly drops a large fraction of accesses, the
+// per-interval counts become noisy, the decoys' dominance breaks in some
+// intervals, and the victims get refreshed often enough that no cell
+// ever reaches its flip threshold — the mechanism by which disorder
+// kills hammering on Alder/Raptor Lake.
+type trrSampler struct {
+	capacity int
+	keys     []uint64
+	counts   []int
+}
+
+func newTRRSampler(capacity int) trrSampler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return trrSampler{
+		capacity: capacity,
+		keys:     make([]uint64, 0, capacity),
+		counts:   make([]int, 0, capacity),
+	}
+}
+
+// observe records one activation of the row identified by key.
+func (s *trrSampler) observe(key uint64) {
+	for i, k := range s.keys {
+		if k == key {
+			s.counts[i]++
+			return
+		}
+	}
+	if len(s.keys) < s.capacity {
+		s.keys = append(s.keys, key)
+		s.counts = append(s.counts, 1)
+	}
+	// Table full: the activation goes unobserved.
+}
+
+// top returns up to n tracked keys with the highest counts. Ties go to
+// the earlier-inserted (earlier-activated) row.
+func (s *trrSampler) top(n int) []uint64 {
+	if n <= 0 || len(s.keys) == 0 {
+		return nil
+	}
+	type kc struct {
+		key   uint64
+		count int
+		order int
+	}
+	entries := make([]kc, len(s.keys))
+	for i := range s.keys {
+		entries[i] = kc{s.keys[i], s.counts[i], i}
+	}
+	if n > len(entries) {
+		n = len(entries)
+	}
+	out := make([]uint64, 0, n)
+	for k := 0; k < n; k++ {
+		best := k
+		for i := k + 1; i < len(entries); i++ {
+			if entries[i].count > entries[best].count ||
+				(entries[i].count == entries[best].count && entries[i].order < entries[best].order) {
+				best = i
+			}
+		}
+		entries[k], entries[best] = entries[best], entries[k]
+		out = append(out, entries[k].key)
+	}
+	return out
+}
+
+// popTop returns the top-n keys like top and removes them from the
+// table, leaving the remaining entries' counts intact. The DDR5 RFM
+// model uses this for fair service: once an aggressor's neighborhood is
+// refreshed it leaves the queue, and everything else keeps accumulating
+// priority — so no activation-count ordering can starve a row of
+// mitigation forever.
+func (s *trrSampler) popTop(n int) []uint64 {
+	out := s.top(n)
+	for _, key := range out {
+		for i, k := range s.keys {
+			if k == key {
+				last := len(s.keys) - 1
+				s.keys[i], s.keys[last] = s.keys[last], s.keys[i]
+				s.counts[i], s.counts[last] = s.counts[last], s.counts[i]
+				s.keys = s.keys[:last]
+				s.counts = s.counts[:last]
+				break
+			}
+		}
+	}
+	return out
+}
+
+// clear resets the sampler for the next refresh interval.
+func (s *trrSampler) clear() {
+	s.keys = s.keys[:0]
+	s.counts = s.counts[:0]
+}
+
+// size reports the number of tracked rows (tests only).
+func (s *trrSampler) size() int { return len(s.keys) }

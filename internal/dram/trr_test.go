@@ -1,0 +1,117 @@
+package dram
+
+import "testing"
+
+func TestSamplerFirstComeTracking(t *testing.T) {
+	s := newTRRSampler(3)
+	for _, k := range []uint64{1, 2, 3, 4, 5} {
+		s.observe(k)
+	}
+	if s.size() != 3 {
+		t.Fatalf("sampler size = %d, want 3 (capacity)", s.size())
+	}
+	// Only the first 3 distinct rows are tracked; later rows go
+	// unobserved.
+	s.observe(1)
+	s.observe(1)
+	s.observe(4)
+	top := s.top(1)
+	if len(top) != 1 || top[0] != 1 {
+		t.Errorf("top(1) = %v, want [1]", top)
+	}
+}
+
+func TestSamplerCountOrdering(t *testing.T) {
+	s := newTRRSampler(6)
+	for i := 0; i < 5; i++ {
+		s.observe(10)
+	}
+	for i := 0; i < 3; i++ {
+		s.observe(20)
+	}
+	s.observe(30)
+	top := s.top(2)
+	if len(top) != 2 || top[0] != 10 || top[1] != 20 {
+		t.Errorf("top(2) = %v, want [10 20]", top)
+	}
+}
+
+func TestSamplerTieBreakEarlierWins(t *testing.T) {
+	s := newTRRSampler(4)
+	s.observe(7)
+	s.observe(8)
+	s.observe(7)
+	s.observe(8) // both have count 2; 7 was inserted first
+	top := s.top(1)
+	if top[0] != 7 {
+		t.Errorf("tie break: top = %v, want 7", top[0])
+	}
+}
+
+func TestSamplerTopBounds(t *testing.T) {
+	s := newTRRSampler(4)
+	if got := s.top(2); got != nil {
+		t.Errorf("top on empty sampler = %v", got)
+	}
+	s.observe(1)
+	if got := s.top(5); len(got) != 1 {
+		t.Errorf("top(5) with one entry = %v", got)
+	}
+	if got := s.top(0); got != nil {
+		t.Errorf("top(0) = %v", got)
+	}
+}
+
+func TestSamplerClear(t *testing.T) {
+	s := newTRRSampler(4)
+	s.observe(1)
+	s.observe(2)
+	s.clear()
+	if s.size() != 0 {
+		t.Error("clear left entries")
+	}
+	// Capacity is fresh after clear.
+	for _, k := range []uint64{5, 6, 7, 8} {
+		s.observe(k)
+	}
+	if s.size() != 4 {
+		t.Errorf("size after refill = %d", s.size())
+	}
+}
+
+func TestSamplerMinimumCapacity(t *testing.T) {
+	s := newTRRSampler(0)
+	s.observe(1)
+	if s.size() != 1 {
+		t.Error("zero capacity should clamp to 1")
+	}
+}
+
+func TestSamplerPopTop(t *testing.T) {
+	s := newTRRSampler(6)
+	for i := 0; i < 5; i++ {
+		s.observe(10)
+	}
+	for i := 0; i < 3; i++ {
+		s.observe(20)
+	}
+	s.observe(30)
+	got := s.popTop(2)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("popTop = %v", got)
+	}
+	if s.size() != 1 {
+		t.Errorf("size after pop = %d, want 1", s.size())
+	}
+	// The survivor keeps its count and rises to the top — the
+	// fair-service property RFM depends on.
+	if top := s.top(1); len(top) != 1 || top[0] != 30 {
+		t.Errorf("survivor not promoted: %v", top)
+	}
+	// Freed capacity is reusable.
+	s.observe(40)
+	s.observe(40)
+	if top := s.popTop(1); top[0] != 40 {
+		t.Errorf("new entry not tracked after pop: %v", top)
+	}
+}

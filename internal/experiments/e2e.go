@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/exploit"
+)
+
+// E2ERow is one architecture's end-to-end attack outcome.
+type E2ERow struct {
+	Arch           string
+	TotalFlips     int
+	Exploitable    int
+	TemplateSecs   float64
+	EndToEndSecs   float64
+	Attempts       int
+	Success        bool
+	CorruptPTEAddr uint64
+}
+
+// E2EResult reproduces the §5.3 end-to-end PTE-corruption runs.
+type E2EResult struct{ Rows []E2ERow }
+
+// E2E performs the full templating + massaging + exploitation pipeline
+// on Alder and Raptor Lake (the platforms the paper demonstrates).
+func E2E(cfg Config) *E2EResult {
+	cfg = cfg.withDefaults()
+	out := &E2EResult{}
+	for _, a := range []*arch.Arch{arch.AlderLake(), arch.RaptorLake()} {
+		s := newSession(a, DefaultDIMM(), cfg.Seed)
+		res, err := exploit.Run(s, exploit.Options{
+			Config:                RhoS(a),
+			Regions:               cfg.scaled(12, 6),
+			DurationPerLocationNS: float64(cfg.scaled(150, 100)) * 1e6,
+		})
+		row := E2ERow{
+			Arch:         a.Name,
+			TotalFlips:   res.TotalFlips,
+			Exploitable:  len(res.Exploitable),
+			TemplateSecs: res.TemplateTimeNS / 1e9,
+			EndToEndSecs: res.TotalTimeNS() / 1e9,
+			Attempts:     res.Attempts,
+			Success:      res.Success,
+		}
+		if err != nil && !res.Success {
+			row.Success = false
+		}
+		row.CorruptPTEAddr = res.VictimPTEAddr
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (e *E2EResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "End-to-end PTE corruption (Rubicon-style massaging)\n")
+	fmt.Fprintf(w, "%-12s %8s %8s %10s %10s %8s %s\n",
+		"Arch", "Flips", "Exploit", "Templ(s)", "Total(s)", "Attempts", "Result")
+	for _, r := range e.Rows {
+		result := "FAILED"
+		if r.Success {
+			result = fmt.Sprintf("page-table R/W via PTE %#x", r.CorruptPTEAddr)
+		}
+		fmt.Fprintf(w, "%-12s %8d %8d %10.1f %10.1f %8d %s\n",
+			r.Arch, r.TotalFlips, r.Exploitable, r.TemplateSecs, r.EndToEndSecs, r.Attempts, result)
+	}
+}

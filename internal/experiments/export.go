@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON export: every experiment result marshals to a stable JSON form so
+// the figures can be replotted with external tooling. The structured
+// result types already carry json-friendly fields; this file provides
+// the uniform envelope and the writer used by cmd/experiments -json.
+
+// Envelope wraps one experiment's result with its identity and the
+// configuration that produced it.
+type Envelope struct {
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Result     any     `json:"result"`
+}
+
+// WriteJSON emits one experiment result as indented JSON.
+func WriteJSON(w io.Writer, experiment string, cfg Config, result any) error {
+	cfg = cfg.withDefaults()
+	env := Envelope{
+		Experiment: experiment,
+		Seed:       cfg.Seed,
+		Scale:      cfg.Scale,
+		Result:     result,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		return fmt.Errorf("experiments: encoding %s: %w", experiment, err)
+	}
+	return nil
+}
+
+// fig4JSON flattens Fig4Result's map-keyed matrix for serialization.
+type fig4JSON struct {
+	Archs []string     `json:"archs"`
+	Bits  []uint       `json:"bits"`
+	Cells [][]fig4Cell `json:"cells"`
+	Thres []float64    `json:"thresholds_ns"`
+}
+
+type fig4Cell struct {
+	BX   uint    `json:"bx"`
+	BY   uint    `json:"by"`
+	NS   float64 `json:"latency_ns"`
+	Slow bool    `json:"sbdr"`
+}
+
+// MarshalJSON implements json.Marshaler for the heatmap result (maps
+// with array keys are not directly serializable).
+func (f *Fig4Result) MarshalJSON() ([]byte, error) {
+	out := fig4JSON{Archs: f.Archs, Bits: f.Bits, Thres: f.Thres}
+	for ai := range f.Archs {
+		var cells []fig4Cell
+		for k, v := range f.Matrix[ai] {
+			cells = append(cells, fig4Cell{BX: k[0], BY: k[1], NS: v, Slow: v > f.Thres[ai]})
+		}
+		out.Cells = append(out.Cells, cells)
+	}
+	return json.Marshal(out)
+}

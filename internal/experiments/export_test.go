@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONEnvelope(t *testing.T) {
+	var buf bytes.Buffer
+	res := Table1(small)
+	if err := WriteJSON(&buf, "table1", small, res); err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if env["experiment"] != "table1" || env["seed"].(float64) != 42 {
+		t.Errorf("envelope: %v", env)
+	}
+	if !strings.Contains(buf.String(), "Raptor Lake") {
+		t.Error("result payload missing")
+	}
+}
+
+func TestFig4JSONMarshals(t *testing.T) {
+	res := &Fig4Result{
+		Archs: []string{"A"},
+		Bits:  []uint{6, 7},
+		Matrix: []map[[2]uint]float64{
+			{{6, 7}: 120},
+		},
+		Thres: []float64{100},
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sbdr":true`) {
+		t.Errorf("heatmap JSON: %s", data)
+	}
+}

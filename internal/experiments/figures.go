@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/cpu"
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/pattern"
+	"rhohammer/internal/stats"
+	"rhohammer/internal/sweep"
+	"rhohammer/internal/timing"
+)
+
+// ---------------------------------------------------------------- Fig. 3
+
+// Fig3Result is the latency density distribution with the derived SBDR
+// threshold.
+type Fig3Result struct {
+	Arch      string
+	Threshold timing.ThresholdResult
+}
+
+// Fig3 reproduces the threshold-finding density plot: random address
+// pairs from the allocated pool, their latency density, the two
+// assembly areas, and the threshold between them.
+func Fig3(cfg Config) *Fig3Result {
+	cfg = cfg.withDefaults()
+	a := arch.CometLake()
+	meas, pool := newMeasurerFor(a, DefaultDIMM(), cfg.Seed)
+	res := meas.FindThreshold(pool.RandomPair, cfg.scaled(3000, 800), 8)
+	return &Fig3Result{Arch: a.Name, Threshold: res}
+}
+
+// Render implements Renderer.
+func (f *Fig3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 3: access-latency density on %s\n", f.Arch)
+	fmt.Fprintf(w, "fast mode %.1f ns | slow (SBDR) mode %.1f ns | threshold %.1f ns | SBDR share %.3f\n",
+		f.Threshold.FastMode, f.Threshold.SlowMode, f.Threshold.Threshold, f.Threshold.SBDRShare)
+	fmt.Fprint(w, f.Threshold.Hist.String())
+}
+
+// ---------------------------------------------------------------- Fig. 4
+
+// Fig4Result holds the two duet heatmaps (Comet vs Raptor Lake).
+type Fig4Result struct {
+	Archs  []string
+	Bits   []uint
+	Matrix []map[[2]uint]float64 // per arch: (bx, by) -> avg latency ns
+	Thres  []float64
+}
+
+// Fig4 measures T_SBDR(M, {bx, by}) for all bit pairs on the
+// traditional (Comet Lake) and recent (Raptor Lake) mappings — the
+// heatmaps whose contrast motivates the layout-agnostic algorithm.
+func Fig4(cfg Config) *Fig4Result {
+	cfg = cfg.withDefaults()
+	out := &Fig4Result{}
+	rounds := cfg.scaled(10, 4)
+	for _, a := range []*arch.Arch{arch.CometLake(), arch.RaptorLake()} {
+		meas, pool := newMeasurerFor(a, DefaultDIMM(), cfg.Seed)
+		thres := meas.FindThreshold(pool.RandomPair, 600, 8)
+		maxBit := uint(33)
+		var bits []uint
+		for b := uint(6); b <= maxBit; b++ {
+			bits = append(bits, b)
+		}
+		m := map[[2]uint]float64{}
+		for i := 0; i < len(bits); i++ {
+			for j := i + 1; j < len(bits); j++ {
+				mask := uint64(1)<<bits[i] | uint64(1)<<bits[j]
+				var sum float64
+				n := 0
+				for k := 0; k < 4; k++ {
+					x, y, ok := pool.PairDifferingIn(mask)
+					if !ok {
+						continue
+					}
+					sum += meas.TimePair(x, y, rounds)
+					n++
+				}
+				if n > 0 {
+					m[[2]uint{bits[i], bits[j]}] = sum / float64(n)
+				}
+			}
+		}
+		out.Archs = append(out.Archs, a.Name)
+		out.Bits = bits
+		out.Matrix = append(out.Matrix, m)
+		out.Thres = append(out.Thres, thres.Threshold)
+	}
+	return out
+}
+
+// SlowPairs returns the bit pairs measuring above threshold for arch
+// index i — the highlighted blocks of the heatmap.
+func (f *Fig4Result) SlowPairs(i int) [][2]uint {
+	var out [][2]uint
+	for k, v := range f.Matrix[i] {
+		if v > f.Thres[i] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig4Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 4: duet heatmap T_SBDR(bx,by); '#' marks SBDR (slow) pairs\n")
+	for ai, name := range f.Archs {
+		fmt.Fprintf(w, "--- %s (threshold %.0f ns)\n    ", name, f.Thres[ai])
+		for _, b := range f.Bits {
+			fmt.Fprintf(w, "%2d ", b%100)
+		}
+		fmt.Fprintln(w)
+		for i, by := range f.Bits {
+			fmt.Fprintf(w, "%2d  ", by)
+			for j, bx := range f.Bits {
+				switch {
+				case j >= i:
+					fmt.Fprint(w, "   ")
+				case f.Matrix[ai][[2]uint{bx, by}] > f.Thres[ai]:
+					fmt.Fprint(w, " # ")
+				default:
+					fmt.Fprint(w, " . ")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Fig. 6
+
+// Fig6Cell is the mean attack time for one instruction on one arch.
+type Fig6Cell struct {
+	Arch       string
+	Instr      string
+	MeanTimeMS float64
+}
+
+// Fig6Result compares hammering-instruction attack times.
+type Fig6Result struct{ Cells []Fig6Cell }
+
+// Fig6 executes random patterns to a fixed access budget with each
+// hammer instruction (load and the four prefetch hints) and reports the
+// average completion time — prefetching is consistently ~2x faster.
+func Fig6(cfg Config) *Fig6Result {
+	cfg = cfg.withDefaults()
+	out := &Fig6Result{}
+	patterns := cfg.scaled(10, 4)
+	acts := cfg.scaled(500_000, 100_000)
+	for _, a := range arch.All() {
+		for _, in := range instrNames {
+			s := newSession(a, DefaultDIMM(), cfg.Seed)
+			fz := pattern.NewFuzzer(pattern.FuzzParams{}, stats.NewRand(cfg.Seed))
+			var total float64
+			for p := 0; p < patterns; p++ {
+				pat := fz.Next()
+				hcfg := hammer.Config{Instr: in.Instr, Banks: 1}
+				res, err := s.HammerPattern(pat, hcfg, p%s.Map.Banks(), uint64(600+p*128), acts)
+				if err != nil {
+					panic(fmt.Sprintf("fig6: %v", err))
+				}
+				total += res.TimeNS
+			}
+			out.Cells = append(out.Cells, Fig6Cell{
+				Arch: a.Name, Instr: in.Name,
+				MeanTimeMS: total / float64(patterns) / 1e6,
+			})
+		}
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig6Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 6: average attack completion time per pattern (ms)\n")
+	fmt.Fprintf(w, "%-12s %-12s %10s\n", "Arch", "Instr", "Time(ms)")
+	for _, c := range f.Cells {
+		fmt.Fprintf(w, "%-12s %-12s %10.2f\n", c.Arch, c.Instr, c.MeanTimeMS)
+	}
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+// Fig8Point is one (primitive style, instruction, banks) measurement.
+type Fig8Point struct {
+	Style    string
+	Instr    string
+	Banks    int
+	MissRate float64
+	TimeMS   float64
+}
+
+// Fig8Result holds the multi-bank miss-rate and time curves.
+type Fig8Result struct {
+	Arch   string
+	Points []Fig8Point
+}
+
+// Fig8 measures cache miss rate and attack time for the C++/AsmJit
+// primitives with load/prefetch hammering across 1-8 banks on Comet
+// Lake.
+func Fig8(cfg Config) *Fig8Result {
+	cfg = cfg.withDefaults()
+	a := arch.CometLake()
+	out := &Fig8Result{Arch: a.Name}
+	acts := cfg.scaled(400_000, 100_000)
+	pat := pattern.KnownGood()
+	for _, style := range []cpu.Style{cpu.StyleCPP, cpu.StyleAsmJit} {
+		for _, in := range []hammer.Instr{hammer.InstrLoad, hammer.InstrPrefetchT2} {
+			for banks := 1; banks <= 8; banks++ {
+				s := newSession(a, DefaultDIMM(), cfg.Seed)
+				hcfg := hammer.Config{Instr: in, Style: style, Banks: banks}
+				res, err := s.HammerPattern(pat, hcfg, 0, 700, acts)
+				if err != nil {
+					panic(fmt.Sprintf("fig8: %v", err))
+				}
+				out.Points = append(out.Points, Fig8Point{
+					Style: style.String(), Instr: in.String(), Banks: banks,
+					MissRate: res.MissRate(), TimeMS: res.TimeNS / 1e6,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig8Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 8: miss rate and attack time vs banks on %s\n", f.Arch)
+	fmt.Fprintf(w, "%-8s %-12s %6s %10s %10s\n", "Style", "Instr", "Banks", "MissRate", "Time(ms)")
+	for _, p := range f.Points {
+		fmt.Fprintf(w, "%-8s %-12s %6d %10.2f %10.2f\n", p.Style, p.Instr, p.Banks, p.MissRate, p.TimeMS)
+	}
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+// Fig9Cell is one fuzzing total for (arch, instr, banks).
+type Fig9Cell struct {
+	Arch  string
+	Instr string
+	Banks int
+	Flips int
+}
+
+// Fig9Result holds the fuzzing effectiveness across bank counts.
+type Fig9Result struct{ Cells []Fig9Cell }
+
+// Fig9 fuzzes with load- and prefetch-based hammering across 1-4 banks
+// on all four architectures — without counter-speculation, matching the
+// §4.3 setting where Alder/Raptor Lake still yield nothing.
+func Fig9(cfg Config) *Fig9Result {
+	cfg = cfg.withDefaults()
+	out := &Fig9Result{}
+	opt := hammer.FuzzOptions{
+		Patterns:   cfg.scaled(10, 5),
+		Locations:  1,
+		DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
+	}
+	type cellSpec struct {
+		a     *arch.Arch
+		instr hammer.Instr
+		banks int
+	}
+	var specs []cellSpec
+	for _, a := range arch.All() {
+		for _, in := range []hammer.Instr{hammer.InstrLoad, hammer.InstrPrefetchT2} {
+			for banks := 1; banks <= 4; banks++ {
+				specs = append(specs, cellSpec{a, in, banks})
+			}
+		}
+	}
+	out.Cells = parMap(len(specs), func(i int) Fig9Cell {
+		sp := specs[i]
+		s := newSession(sp.a, DefaultDIMM(), cfg.Seed)
+		rep, err := s.Fuzz(hammer.Config{Instr: sp.instr, Banks: sp.banks}, opt)
+		if err != nil {
+			panic(fmt.Sprintf("fig9: %v", err))
+		}
+		return Fig9Cell{Arch: sp.a.Name, Instr: sp.instr.String(), Banks: sp.banks, Flips: rep.TotalFlips}
+	})
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig9Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 9: fuzzing flip totals by instruction and bank count\n")
+	fmt.Fprintf(w, "%-12s %-12s %6s %8s\n", "Arch", "Instr", "Banks", "Flips")
+	for _, c := range f.Cells {
+		fmt.Fprintf(w, "%-12s %-12s %6d %8d\n", c.Arch, c.Instr, c.Banks, c.Flips)
+	}
+}
+
+// --------------------------------------------------------------- Fig. 10
+
+// Fig10Result is the NOP-count sweep on Raptor Lake.
+type Fig10Result struct {
+	Arch  string
+	Curve []hammer.TunePoint
+	Best  hammer.TunePoint
+}
+
+// Fig10 sweeps the pseudo-barrier NOP count over [0, 1000] with the
+// best pattern on Raptor Lake: zero flips at both extremes, an optimum
+// in the interior.
+func Fig10(cfg Config) *Fig10Result {
+	cfg = cfg.withDefaults()
+	a := arch.RaptorLake()
+	s := newSession(a, DefaultDIMM(), cfg.Seed)
+	base := hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1, Obfuscate: true}
+	tune, err := s.TuneNops(pattern.KnownGood(), base, 1000, 50,
+		float64(cfg.scaled(150, 100))*1e6, cfg.scaled(2, 1))
+	if err != nil {
+		panic(fmt.Sprintf("fig10: %v", err))
+	}
+	return &Fig10Result{
+		Arch:  a.Name,
+		Curve: tune.Curve,
+		Best:  hammer.TunePoint{Nops: tune.BestNops, Flips: tune.BestFlips},
+	}
+}
+
+// Render implements Renderer.
+func (f *Fig10Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 10: bit flips vs NOP count on %s (best: %d NOPs -> %d flips)\n",
+		f.Arch, f.Best.Nops, f.Best.Flips)
+	maxF := 1
+	for _, p := range f.Curve {
+		if p.Flips > maxF {
+			maxF = p.Flips
+		}
+	}
+	for _, p := range f.Curve {
+		bar := p.Flips * 50 / maxF
+		fmt.Fprintf(w, "%5d | %s %d\n", p.Nops, repeat('#', bar), p.Flips)
+	}
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+// --------------------------------------------------------------- Fig. 11
+
+// Fig11Series is one architecture's cumulative sweep series.
+type Fig11Series struct {
+	Arch     string
+	Strategy string
+	Points   []sweep.Point
+	Total    int
+	PerMin   float64
+}
+
+// Fig11Result holds the sweeping flip-rate comparison.
+type Fig11Result struct{ Series []Fig11Series }
+
+// Fig11 sweeps the best pattern over a large set of non-repeating
+// locations on each architecture for both ρHammer and the baseline,
+// producing the cumulative flip series and the per-minute rates the
+// paper headlines (112x / 47x on Comet/Rocket; baseline zero on
+// Alder/Raptor).
+func Fig11(cfg Config) *Fig11Result {
+	cfg = cfg.withDefaults()
+	out := &Fig11Result{}
+	opt := sweep.Options{
+		Locations:             cfg.scaled(24, 8),
+		DurationPerLocationNS: float64(cfg.scaled(150, 100)) * 1e6,
+		Bank:                  -1,
+	}
+	pat := pattern.KnownGood()
+	type seriesSpec struct {
+		a    *arch.Arch
+		name string
+		hcfg hammer.Config
+	}
+	var specs []seriesSpec
+	for _, a := range arch.All() {
+		specs = append(specs,
+			seriesSpec{a, "baseline", BaselineS()},
+			seriesSpec{a, "rhoHammer", RhoM(a)},
+		)
+	}
+	out.Series = parMap(len(specs), func(i int) Fig11Series {
+		sp := specs[i]
+		s := newSession(sp.a, DefaultDIMM(), cfg.Seed)
+		res, err := sweep.Run(s, pat, sp.hcfg, opt)
+		if err != nil {
+			panic(fmt.Sprintf("fig11: %v", err))
+		}
+		return Fig11Series{
+			Arch: sp.a.Name, Strategy: sp.name,
+			Points: res.Series, Total: res.TotalFlips, PerMin: res.FlipsPerMinute(),
+		}
+	})
+	return out
+}
+
+// Render implements Renderer.
+func (f *Fig11Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 11: cumulative flips over sweeping\n")
+	fmt.Fprintf(w, "%-12s %-10s %8s %12s\n", "Arch", "Strategy", "Flips", "Flips/min")
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%-12s %-10s %8d %12.0f\n", s.Arch, s.Strategy, s.Total, s.PerMin)
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/pattern"
+	"rhohammer/internal/sweep"
+)
+
+// MitigationRow is one (mitigation, strategy) outcome.
+type MitigationRow struct {
+	Mitigation string
+	Strategy   string
+	Flips      int
+	Events     uint64 // mitigation actions taken (TRR/pTRR/RFM/swap)
+}
+
+// MitigationsResult reproduces the §6 discussion: how the platform pTRR
+// option, DDR5 refresh management and randomized row-swapping fare
+// against ρHammer's strongest configuration on Raptor Lake.
+type MitigationsResult struct{ Rows []MitigationRow }
+
+// Mitigations runs ρHammer and the baseline against each §6 defense.
+func Mitigations(cfg Config) *MitigationsResult {
+	cfg = cfg.withDefaults()
+	a := arch.RaptorLake()
+	out := &MitigationsResult{}
+	duration := float64(cfg.scaled(150, 100)) * 1e6
+	locations := cfg.scaled(6, 3)
+
+	type setup struct {
+		name  string
+		build func() *hammer.Session
+		dimm  *arch.DIMM
+	}
+	setups := []setup{
+		{"DDR4 TRR only", func() *hammer.Session {
+			return newSession(a, DefaultDIMM(), cfg.Seed)
+		}, DefaultDIMM()},
+		{"DDR4 + pTRR (BIOS)", func() *hammer.Session {
+			s := newSession(a, DefaultDIMM(), cfg.Seed)
+			s.EnablePTRR(true)
+			return s
+		}, DefaultDIMM()},
+		{"DDR4 + row swap", func() *hammer.Session {
+			s := newSession(a, DefaultDIMM(), cfg.Seed)
+			s.Dev.EnableRowSwap(4096)
+			return s
+		}, DefaultDIMM()},
+		{"DDR5 (RFM)", func() *hammer.Session {
+			return newSession(a, arch.DIMMD1(), cfg.Seed)
+		}, arch.DIMMD1()},
+	}
+
+	strategies := []struct {
+		name string
+		cfg  hammer.Config
+	}{
+		{"baseline", BaselineS()},
+		{"rhoHammer", RhoS(a)},
+	}
+	type rowSpec struct {
+		setupIdx, stratIdx int
+	}
+	var specs []rowSpec
+	for si := range setups {
+		for gi := range strategies {
+			specs = append(specs, rowSpec{si, gi})
+		}
+	}
+	out.Rows = parMap(len(specs), func(i int) MitigationRow {
+		sp := specs[i]
+		st, strat := setups[sp.setupIdx], strategies[sp.stratIdx]
+		s := st.build()
+		res, err := sweep.Run(s, pattern.KnownGood(), strat.cfg, sweep.Options{
+			Locations: locations, DurationPerLocationNS: duration, Bank: -1,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("mitigations: %v", err))
+		}
+		events := s.Dev.TRREvents()
+		if s.Dev.RFMEvents() > 0 {
+			events = s.Dev.RFMEvents()
+		}
+		if s.Dev.RowSwapEvents() > 0 {
+			events = s.Dev.RowSwapEvents()
+		}
+		return MitigationRow{
+			Mitigation: st.name, Strategy: strat.name,
+			Flips: res.TotalFlips, Events: events,
+		}
+	})
+	return out
+}
+
+// Render implements Renderer.
+func (m *MitigationsResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Mitigations (§6) vs rhoHammer on Raptor Lake\n")
+	fmt.Fprintf(w, "%-20s %-10s %8s %12s\n", "Defense", "Strategy", "Flips", "Actions")
+	for _, r := range m.Rows {
+		fmt.Fprintf(w, "%-20s %-10s %8d %12d\n", r.Mitigation, r.Strategy, r.Flips, r.Events)
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+func TestParMapOrderAndCompleteness(t *testing.T) {
+	got := parMap(100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d = %d", i, v)
+		}
+	}
+	if parMap(0, func(i int) int { return i }) != nil {
+		t.Error("empty parMap")
+	}
+}
+
+func TestParMapDeterministicResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated campaign")
+	}
+	// A campaign cell result depends only on its inputs, so two
+	// parallel executions must agree exactly despite scheduling.
+	first := Table3(Config{Seed: 42, Scale: 0.3})
+	second := Table3(Config{Seed: 42, Scale: 0.3})
+	if len(first.Rows) != len(second.Rows) {
+		t.Fatal("row counts differ")
+	}
+	for i := range first.Rows {
+		if first.Rows[i] != second.Rows[i] {
+			t.Errorf("row %d: %+v vs %+v", i, first.Rows[i], second.Rows[i])
+		}
+	}
+}

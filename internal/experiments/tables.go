@@ -1,0 +1,387 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/mapping"
+	"rhohammer/internal/pattern"
+	"rhohammer/internal/reverse"
+	"rhohammer/internal/sweep"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Result lists the machine setups.
+type Table1Result struct{ Archs []*arch.Arch }
+
+// Table1 reproduces the Table 1 inventory from the architecture
+// profiles.
+func Table1(Config) *Table1Result { return &Table1Result{Archs: arch.All()} }
+
+// Render implements Renderer.
+func (t *Table1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: desktop machine setups\n")
+	fmt.Fprintf(w, "%-12s %-12s %s\n", "Arch", "CPU", "Max Mem Freq")
+	for _, a := range t.Archs {
+		fmt.Fprintf(w, "%-12s %-12s %d\n", a.Name, a.CPU, a.MemFreqMHz)
+	}
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Result lists the DIMMs.
+type Table2Result struct{ DIMMs []*arch.DIMM }
+
+// Table2 reproduces the Table 2 inventory from the DIMM profiles.
+func Table2(Config) *Table2Result { return &Table2Result{DIMMs: arch.AllDIMMs()} }
+
+// Render implements Renderer.
+func (t *Table2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 2: DDR4 UDIMMs\n")
+	fmt.Fprintf(w, "%-4s %-10s %-6s %-6s %s\n", "ID", "Date", "Freq", "Size", "Geometry (RK, BK, R)")
+	for _, d := range t.DIMMs {
+		fmt.Fprintf(w, "%-4s %-10s %-6d %-6d (%d, %d, 2^%d)\n",
+			d.ID, d.ProductionDate, d.FreqMHz, d.SizeGiB, d.Ranks, d.BanksPerRank, log2(d.RowsPerBank))
+	}
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Row is one barrier strategy's outcome on one architecture.
+type Table3Row struct {
+	Arch    string
+	Barrier string
+	Flips   int
+	TimeMS  float64
+}
+
+// Table3Result compares barrier strategies on Alder and Raptor Lake.
+type Table3Result struct{ Rows []Table3Row }
+
+// Table3 sweeps the best pattern under the six barrier strategies of
+// the paper: no barrier, CPUID, MFENCE, LFENCE with loads, LFENCE with
+// prefetches, and ρHammer's NOP pseudo-barrier — all with control-flow
+// obfuscation enabled, as in the paper.
+func Table3(cfg Config) *Table3Result {
+	cfg = cfg.withDefaults()
+	out := &Table3Result{}
+	pat := pattern.KnownGood()
+	locations := cfg.scaled(8, 3)
+	duration := float64(cfg.scaled(150, 100)) * 1e6
+	type rowSpec struct {
+		a    *arch.Arch
+		name string
+		hcfg hammer.Config
+	}
+	var specs []rowSpec
+	for _, a := range []*arch.Arch{arch.AlderLake(), arch.RaptorLake()} {
+		specs = append(specs,
+			rowSpec{a, "None", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierNone, Banks: 1, Obfuscate: true}},
+			rowSpec{a, "CPUID", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierCPUID, Banks: 1, Obfuscate: true}},
+			rowSpec{a, "MFENCE", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierMFence, Banks: 1, Obfuscate: true}},
+			rowSpec{a, "LFENCE (load)", hammer.Config{Instr: hammer.InstrLoad, Barrier: hammer.BarrierLFence, Banks: 1, Obfuscate: true}},
+			rowSpec{a, "LFENCE (prefetch)", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierLFence, Banks: 1, Obfuscate: true}},
+			rowSpec{a, "NOP", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierNop, Nops: TunedNops(a), Banks: 1, Obfuscate: true}},
+		)
+	}
+	out.Rows = parMap(len(specs), func(i int) Table3Row {
+		sp := specs[i]
+		s := newSession(sp.a, DefaultDIMM(), cfg.Seed)
+		res, err := sweep.Run(s, pat, sp.hcfg, sweep.Options{
+			Locations:             locations,
+			DurationPerLocationNS: duration,
+			Bank:                  -1,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("table3: %v", err))
+		}
+		return Table3Row{
+			Arch: sp.a.Name, Barrier: sp.name,
+			Flips: res.TotalFlips, TimeMS: res.TimeNS / 1e6,
+		}
+	})
+	return out
+}
+
+// Render implements Renderer.
+func (t *Table3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 3: barrier comparison (flips / time in ms)\n")
+	fmt.Fprintf(w, "%-12s %-18s %8s %10s\n", "Arch", "Barrier", "Flips", "Time(ms)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-12s %-18s %8d %10.1f\n", r.Arch, r.Barrier, r.Flips, r.TimeMS)
+	}
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// Table4Row is one recovered mapping.
+type Table4Row struct {
+	Family    string
+	SizeGiB   int
+	Recovered *mapping.Mapping
+	Truth     *mapping.Mapping
+	Correct   bool
+	Seconds   float64
+}
+
+// Table4Result reports the recovered DRAM address mappings.
+type Table4Result struct{ Rows []Table4Row }
+
+// Table4 runs Algorithm 1 against every platform family and DIMM
+// geometry of the paper's Table 4 and verifies the results against the
+// ground-truth mappings.
+func Table4(cfg Config) *Table4Result {
+	cfg = cfg.withDefaults()
+	out := &Table4Result{}
+	for _, c := range []struct {
+		a    *arch.Arch
+		size int
+	}{
+		{arch.CometLake(), 8}, {arch.CometLake(), 16}, {arch.RocketLake(), 32},
+		{arch.AlderLake(), 8}, {arch.RaptorLake(), 16}, {arch.RaptorLake(), 32},
+	} {
+		d := dimmWithSize(c.size)
+		truth, _ := mapping.ForPlatform(c.a.MappingFamily, c.size)
+		meas, pool := newMeasurerFor(c.a, d, cfg.Seed)
+		res := reverse.Recover(meas, pool, reverse.Options{})
+		row := Table4Row{
+			Family: c.a.MappingFamily, SizeGiB: c.size,
+			Truth: truth, Seconds: res.Seconds(),
+		}
+		if res.OK() {
+			row.Recovered = res.Mapping
+			row.Correct = res.Mapping.Equal(truth)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// dimmWithSize returns a DIMM profile of the requested capacity.
+func dimmWithSize(sizeGiB int) *arch.DIMM {
+	for _, d := range arch.AllDIMMs() {
+		if d.SizeGiB == sizeGiB {
+			return d
+		}
+	}
+	panic(fmt.Sprintf("experiments: no DIMM of %d GiB", sizeGiB))
+}
+
+// Render implements Renderer.
+func (t *Table4Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 4: reverse-engineered DRAM address mappings\n")
+	for _, r := range t.Rows {
+		status := "FAILED"
+		if r.Recovered != nil {
+			if r.Correct {
+				status = "correct"
+			} else {
+				status = "INCORRECT"
+			}
+		}
+		fmt.Fprintf(w, "%-14s %2d GiB [%s, %.1fs]\n", r.Family, r.SizeGiB, status, r.Seconds)
+		if r.Recovered != nil {
+			fmt.Fprintf(w, "    %s\n", r.Recovered)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Table 5
+
+// Table5Cell is one (tool, architecture) outcome.
+type Table5Cell struct {
+	Tool     string
+	Arch     string
+	Runs     int
+	Correct  int
+	MeanSecs float64 // over successful runs; 0 when none
+}
+
+// Table5Result compares reverse-engineering tools across architectures.
+type Table5Result struct{ Cells []Table5Cell }
+
+// Table5 runs each tool `runs` times per architecture (the paper uses
+// 50 independent runs) and reports accuracy and mean runtime.
+func Table5(cfg Config) *Table5Result {
+	cfg = cfg.withDefaults()
+	runs := cfg.scaled(6, 3)
+	out := &Table5Result{}
+	tools := []struct {
+		name string
+		run  func(*arch.Arch, *arch.DIMM, int64) reverse.Result
+	}{
+		{"DRAMA", func(a *arch.Arch, d *arch.DIMM, seed int64) reverse.Result {
+			m, p := newMeasurerFor(a, d, seed)
+			return reverse.RecoverDRAMA(m, p, reverse.Options{})
+		}},
+		{"DRAMDig", func(a *arch.Arch, d *arch.DIMM, seed int64) reverse.Result {
+			m, p := newMeasurerFor(a, d, seed)
+			return reverse.RecoverDRAMDig(m, p, reverse.Options{})
+		}},
+		{"DARE", func(a *arch.Arch, d *arch.DIMM, seed int64) reverse.Result {
+			m, p := newMeasurerFor(a, d, seed)
+			return reverse.RecoverDARE(m, p, reverse.Options{})
+		}},
+		{"rhoHammer", func(a *arch.Arch, d *arch.DIMM, seed int64) reverse.Result {
+			m, p := newMeasurerFor(a, d, seed)
+			return reverse.Recover(m, p, reverse.Options{})
+		}},
+	}
+	type cellSpec struct {
+		toolIdx int
+		a       *arch.Arch
+	}
+	var specs []cellSpec
+	for ti := range tools {
+		for _, a := range arch.All() {
+			specs = append(specs, cellSpec{ti, a})
+		}
+	}
+	out.Cells = parMap(len(specs), func(i int) Table5Cell {
+		sp := specs[i]
+		tool := tools[sp.toolIdx]
+		d := DefaultDIMM()
+		truth, _ := mapping.ForPlatform(sp.a.MappingFamily, d.SizeGiB)
+		cell := Table5Cell{Tool: tool.name, Arch: sp.a.Name, Runs: runs}
+		var secs float64
+		for r := 0; r < runs; r++ {
+			res := tool.run(sp.a, d, cfg.Seed+int64(r)*7919)
+			if res.OK() && sameFuncs(res.Mapping, truth) {
+				cell.Correct++
+				secs += res.Seconds()
+			}
+		}
+		if cell.Correct > 0 {
+			cell.MeanSecs = secs / float64(cell.Correct)
+		}
+		return cell
+	})
+	return out
+}
+
+// sameFuncs compares only the bank-function sets: DRAMA and DARE do not
+// recover row ranges exactly, and the paper scores them on functions.
+func sameFuncs(got, want *mapping.Mapping) bool {
+	g, t := got.Canonical(), want.Canonical()
+	if len(g.Funcs) != len(t.Funcs) {
+		return false
+	}
+	for i := range g.Funcs {
+		if g.Funcs[i] != t.Funcs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Render implements Renderer.
+func (t *Table5Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 5: reverse-engineering tool comparison\n")
+	fmt.Fprintf(w, "%-10s %-12s %10s %10s\n", "Tool", "Arch", "Accuracy", "Time(s)")
+	for _, c := range t.Cells {
+		timeStr := "-"
+		if c.Correct > 0 {
+			timeStr = fmt.Sprintf("%.1f", c.MeanSecs)
+			if c.Correct < c.Runs {
+				timeStr += "*" // partially non-deterministic
+			}
+		}
+		fmt.Fprintf(w, "%-10s %-12s %7d/%-2d %10s\n", c.Tool, c.Arch, c.Correct, c.Runs, timeStr)
+	}
+	fmt.Fprintf(w, "(*) partially non-deterministic, (-) no correct result\n")
+}
+
+// ---------------------------------------------------------------- Table 6
+
+// Table6Cell is one (DIMM, arch, strategy) fuzzing outcome.
+type Table6Cell struct {
+	Arch     string
+	DIMM     string
+	Strategy string // "BL-S", "BL-M", "rho-S", "rho-M"
+	Total    int
+	Best     int
+}
+
+// Table6Result is the 2-hour fuzzing matrix.
+type Table6Result struct{ Cells []Table6Cell }
+
+// Table6 runs the fuzzing campaign for every architecture, DIMM and
+// strategy combination. The paper's 2-hour budget is represented by a
+// scaled number of candidate patterns.
+func Table6(cfg Config) *Table6Result {
+	cfg = cfg.withDefaults()
+	out := &Table6Result{}
+	opt := hammer.FuzzOptions{
+		Patterns:   cfg.scaled(10, 5),
+		Locations:  1,
+		DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
+	}
+	type cellSpec struct {
+		a        *arch.Arch
+		d        *arch.DIMM
+		strategy string
+		hcfg     hammer.Config
+	}
+	var specs []cellSpec
+	for _, a := range arch.All() {
+		for _, d := range arch.AllDIMMs() {
+			specs = append(specs,
+				cellSpec{a, d, "BL-S", BaselineS()},
+				cellSpec{a, d, "BL-M", BaselineM(a)},
+				cellSpec{a, d, "rho-S", RhoS(a)},
+				cellSpec{a, d, "rho-M", RhoM(a)},
+			)
+		}
+	}
+	out.Cells = parMap(len(specs), func(i int) Table6Cell {
+		sp := specs[i]
+		s := newSession(sp.a, sp.d, cfg.Seed)
+		rep, err := s.Fuzz(sp.hcfg, opt)
+		if err != nil {
+			panic(fmt.Sprintf("table6: %v", err))
+		}
+		return Table6Cell{
+			Arch: sp.a.Name, DIMM: sp.d.ID, Strategy: sp.strategy,
+			Total: rep.TotalFlips, Best: rep.Best.Flips,
+		}
+	})
+	return out
+}
+
+// Render implements Renderer.
+func (t *Table6Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 6: fuzzing bit-flip counts (total, best pattern)\n")
+	fmt.Fprintf(w, "%-12s %-5s %8s %8s %8s %8s\n", "Arch", "DIMM", "BL-S", "BL-M", "rho-S", "rho-M")
+	type key struct{ arch, dimm string }
+	grid := map[key]map[string]Table6Cell{}
+	var order []key
+	for _, c := range t.Cells {
+		k := key{c.Arch, c.DIMM}
+		if grid[k] == nil {
+			grid[k] = map[string]Table6Cell{}
+			order = append(order, k)
+		}
+		grid[k][c.Strategy] = c
+	}
+	for _, k := range order {
+		row := grid[k]
+		fmt.Fprintf(w, "%-12s %-5s", k.arch, k.dimm)
+		for _, st := range []string{"BL-S", "BL-M", "rho-S", "rho-M"} {
+			c := row[st]
+			fmt.Fprintf(w, " %4d,%-4d", c.Total, c.Best)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,58 @@
+package hammer
+
+import (
+	"fmt"
+
+	"rhohammer/internal/pattern"
+	"rhohammer/internal/stats"
+)
+
+// ActivationProfile summarizes the DRAM command stream one hammering
+// configuration achieves — the paper's core quantitative lens: how many
+// activations fit into each refresh interval, and how they distribute
+// over the pattern's rows.
+type ActivationProfile struct {
+	// PerInterval are the ACTs-per-tREFI statistics for the hammered
+	// bank (the budget the TRR sampler observes).
+	PerInterval stats.Summary
+	// RowCounts maps hammered rows to their total activations.
+	RowCounts map[uint64]int
+	// TotalACTs is the number of activations traced.
+	TotalACTs int
+	// MissRate is the fraction of accesses that reached DRAM.
+	MissRate float64
+}
+
+// MeasureActivationRate runs `pat` under cfg for durationNS with command
+// tracing enabled and returns the activation profile of the first
+// hammered bank. The device state is reset before and after, so the
+// probe leaves no residue in the session.
+func (s *Session) MeasureActivationRate(pat *pattern.Pattern, cfg Config, bank int, baseRow uint64, durationNS float64) (ActivationProfile, error) {
+	var out ActivationProfile
+	s.ResetDevice()
+	s.Ctrl.Trace.Start(1 << 21)
+	defer func() {
+		s.Ctrl.Trace.Reset()
+		s.ResetDevice()
+	}()
+	res, err := s.HammerPatternFor(pat, cfg, bank, baseRow, durationNS)
+	if err != nil {
+		return out, fmt.Errorf("hammer: activation probe: %w", err)
+	}
+	perInterval := s.Ctrl.Trace.ACTsPerInterval(bank)
+	if len(perInterval) > 2 {
+		// Drop the first and last (partial) intervals.
+		perInterval = perInterval[1 : len(perInterval)-1]
+	}
+	xs := make([]float64, len(perInterval))
+	total := 0
+	for i, n := range perInterval {
+		xs[i] = float64(n)
+		total += n
+	}
+	out.PerInterval = stats.Summarize(xs)
+	out.RowCounts = s.Ctrl.Trace.RowCounts(bank)
+	out.TotalACTs = total
+	out.MissRate = res.MissRate()
+	return out, nil
+}

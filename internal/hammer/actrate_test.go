@@ -1,0 +1,67 @@
+package hammer
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/pattern"
+)
+
+// The §4.5 quantitative core: a DDR4 bank admits ~164 activations per
+// tREFI (7800 ns / ~47.5 ns tRC); ordered prefetch hammering approaches
+// that budget while load hammering reaches roughly half of it.
+func TestActivationBudgetPerInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("activation probe")
+	}
+	pat := pattern.KnownGood()
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS3())
+
+	pf, err := s.MeasureActivationRate(pat, RhoHammer(s.Arch, 1, 190), 0, 5000, 60e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newTestSession(t, arch.CometLake(), arch.DIMMS3())
+	ld, err := s2.MeasureActivationRate(pat, Baseline(), 0, 5000, 60e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pf.PerInterval.Mean < 110 || pf.PerInterval.Mean > 170 {
+		t.Errorf("prefetch ACTs/tREFI = %.1f, want near the ~150 bank budget", pf.PerInterval.Mean)
+	}
+	if ld.PerInterval.Mean > pf.PerInterval.Mean*0.75 {
+		t.Errorf("load ACTs/tREFI %.1f should sit well below prefetch %.1f (§4.5)",
+			ld.PerInterval.Mean, pf.PerInterval.Mean)
+	}
+	if pf.TotalACTs == 0 || len(pf.RowCounts) == 0 {
+		t.Error("empty profile")
+	}
+	// Decoy rows must dominate the per-row counts (TRR evasion).
+	decoys := pf.RowCounts[5040] + pf.RowCounts[5046]
+	pairs := pf.RowCounts[5000] + pf.RowCounts[5002]
+	if decoys <= pairs {
+		t.Errorf("decoy counts %d should exceed pair counts %d", decoys, pairs)
+	}
+}
+
+// The probe must not leave device or trace state behind.
+func TestActivationProbeIsSideEffectFree(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS3())
+	if _, err := s.MeasureActivationRate(pattern.KnownGood(), Baseline(), 0, 5000, 20e6); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Dev.Flips()); n != 0 {
+		t.Errorf("probe left %d flips", n)
+	}
+	if s.Dev.ActivationCount() != 0 {
+		t.Error("probe left activation counters")
+	}
+	// Trace disarmed: later hammering must not accumulate commands.
+	if _, err := s.HammerPattern(pattern.KnownGood(), Baseline(), 0, 5000, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Ctrl.Trace.Commands()); n != 0 {
+		t.Errorf("trace still recording: %d commands", n)
+	}
+}

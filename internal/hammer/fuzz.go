@@ -1,0 +1,81 @@
+package hammer
+
+import (
+	"rhohammer/internal/pattern"
+)
+
+// FuzzOptions controls a fuzzing campaign. The paper's campaigns run for
+// 2 hours of wall clock; here the budget is expressed as a number of
+// candidate patterns, each executed at a few physical locations, which
+// is the quantity the flip statistics actually depend on.
+type FuzzOptions struct {
+	Patterns   int                // candidate patterns to generate
+	Locations  int                // trial locations per pattern
+	DurationNS float64            // simulated hammer time per trial
+	Params     pattern.FuzzParams // generator bounds
+}
+
+// withDefaults fills unset fields with the evaluation defaults.
+func (o FuzzOptions) withDefaults() FuzzOptions {
+	if o.Patterns == 0 {
+		o.Patterns = 40
+	}
+	if o.Locations == 0 {
+		o.Locations = 2
+	}
+	if o.DurationNS == 0 {
+		o.DurationNS = 150e6 // ~2.3 refresh windows
+	}
+	return o
+}
+
+// PatternScore records one fuzzed pattern's aggregate effectiveness.
+type PatternScore struct {
+	Pattern *pattern.Pattern
+	Flips   int
+}
+
+// FuzzReport summarizes a campaign, matching the quantities of Table 6:
+// total flips over all effective patterns and the best pattern's flips.
+type FuzzReport struct {
+	TotalFlips int
+	Best       PatternScore
+	// Effective counts patterns that produced at least one flip.
+	Effective int
+	// Tried is the number of patterns executed.
+	Tried int
+}
+
+// Fuzz runs a fuzzing campaign under the given hammering configuration
+// and returns the report plus the best pattern found (nil if none
+// flipped anything).
+func (s *Session) Fuzz(cfg Config, opt FuzzOptions) (FuzzReport, error) {
+	opt = opt.withDefaults()
+	fz := pattern.NewFuzzer(opt.Params, s.Rand)
+	var rep FuzzReport
+	rows := s.Map.Rows()
+	for i := 0; i < opt.Patterns; i++ {
+		pat := fz.Next()
+		span := uint64(pat.MaxOffset() + 8)
+		flips := 0
+		for loc := 0; loc < opt.Locations; loc++ {
+			s.ResetDevice()
+			baseRow := (uint64(i*opt.Locations+loc)*10007*span + 128) % (rows - span - 4)
+			bank := (i + loc) % s.Map.Banks()
+			res, err := s.HammerPatternFor(pat, cfg, bank, baseRow, opt.DurationNS)
+			if err != nil {
+				return rep, err
+			}
+			flips += res.FlipCount()
+		}
+		rep.Tried++
+		if flips > 0 {
+			rep.Effective++
+			rep.TotalFlips += flips
+		}
+		if flips > rep.Best.Flips {
+			rep.Best = PatternScore{Pattern: pat, Flips: flips}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,385 @@
+// Package hammer implements ρHammer's hammering engine: it lowers a
+// non-uniform pattern into a micro-op program (hammer instruction +
+// CLFLUSHOPT per aggressor, with the configured barrier strategy and
+// optional control-flow obfuscation), optionally interleaves it across
+// multiple banks (§4.3), executes it on the speculative CPU model, and
+// collects the bit flips induced in the DRAM device.
+//
+// The package also provides the counter-speculation tuning phase (§4.4)
+// that searches for the platform's optimal NOP count.
+package hammer
+
+import (
+	"fmt"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/cpu"
+	"rhohammer/internal/dram"
+	"rhohammer/internal/mapping"
+	"rhohammer/internal/memctrl"
+	"rhohammer/internal/pattern"
+	"rhohammer/internal/stats"
+)
+
+// Instr selects the hammering instruction (§4.2, Fig. 6).
+type Instr uint8
+
+const (
+	// InstrLoad is the conventional MOV-based baseline.
+	InstrLoad Instr = iota
+	// InstrPrefetchT0 .. InstrPrefetchNTA are the four PREFETCHh
+	// variants; ρHammer uses T2 or NTA.
+	InstrPrefetchT0
+	InstrPrefetchT1
+	InstrPrefetchT2
+	InstrPrefetchNTA
+)
+
+// IsPrefetch reports whether the instruction is a software prefetch.
+func (i Instr) IsPrefetch() bool { return i != InstrLoad }
+
+// Hint returns the cpu-level prefetch hint for prefetch instructions.
+func (i Instr) Hint() cpu.Hint {
+	switch i {
+	case InstrPrefetchT0:
+		return cpu.HintT0
+	case InstrPrefetchT1:
+		return cpu.HintT1
+	case InstrPrefetchT2:
+		return cpu.HintT2
+	default:
+		return cpu.HintNTA
+	}
+}
+
+// String implements fmt.Stringer.
+func (i Instr) String() string {
+	switch i {
+	case InstrLoad:
+		return "load"
+	case InstrPrefetchT0:
+		return "prefetcht0"
+	case InstrPrefetchT1:
+		return "prefetcht1"
+	case InstrPrefetchT2:
+		return "prefetcht2"
+	case InstrPrefetchNTA:
+		return "prefetchnta"
+	default:
+		return fmt.Sprintf("Instr(%d)", uint8(i))
+	}
+}
+
+// Barrier selects the ordering strategy compared in Table 3.
+type Barrier uint8
+
+const (
+	// BarrierNone issues hammer+flush pairs with no ordering at all.
+	BarrierNone Barrier = iota
+	// BarrierNop inserts Config.Nops NOPs after every hammer pair —
+	// ρHammer's pseudo-barrier.
+	BarrierNop
+	// BarrierLFence / BarrierMFence / BarrierCPUID insert the
+	// respective x86 instruction after every hammer pair.
+	BarrierLFence
+	BarrierMFence
+	BarrierCPUID
+)
+
+// String implements fmt.Stringer.
+func (b Barrier) String() string {
+	switch b {
+	case BarrierNone:
+		return "none"
+	case BarrierNop:
+		return "nop"
+	case BarrierLFence:
+		return "lfence"
+	case BarrierMFence:
+		return "mfence"
+	case BarrierCPUID:
+		return "cpuid"
+	default:
+		return fmt.Sprintf("Barrier(%d)", uint8(b))
+	}
+}
+
+// Config is one hammering strategy: instruction choice, primitive style,
+// bank-level parallelism and counter-speculation settings.
+type Config struct {
+	Instr     Instr
+	Style     cpu.Style
+	Banks     int     // number of banks hammered in parallel (>= 1)
+	Barrier   Barrier // ordering strategy
+	Nops      int     // NOP count for BarrierNop
+	Obfuscate bool    // control-flow obfuscation (§4.4)
+	// SyncRefresh aligns the hammer loop's start with the next REF
+	// command (the first step of Listing 1), pinning the pattern's
+	// phase relative to the TRR observation intervals.
+	SyncRefresh bool
+}
+
+// Baseline returns the conventional load-based configuration
+// (Blacksmith/ZenHammer-style): C++ primitive, single bank, no barrier.
+func Baseline() Config {
+	return Config{Instr: InstrLoad, Style: cpu.StyleCPP, Banks: 1, Barrier: BarrierNone}
+}
+
+// RhoHammer returns ρHammer's recommended configuration for the given
+// architecture: prefetch-based C++ primitive with counter-speculation
+// (obfuscation + tuned NOPs) and the given bank parallelism.
+func RhoHammer(a *arch.Arch, banks, nops int) Config {
+	return Config{
+		Instr: InstrPrefetchT2, Style: cpu.StyleCPP,
+		Banks: banks, Barrier: BarrierNop, Nops: nops, Obfuscate: true,
+	}
+}
+
+// String renders the strategy compactly for logs and reports.
+func (c Config) String() string {
+	s := fmt.Sprintf("%s/%s banks=%d barrier=%s", c.Instr, c.Style, c.Banks, c.Barrier)
+	if c.Barrier == BarrierNop {
+		s += fmt.Sprintf("(%d)", c.Nops)
+	}
+	if c.Obfuscate {
+		s += " +obf"
+	}
+	return s
+}
+
+// validate normalizes a config and reports misuse.
+func (c *Config) validate(banks int) error {
+	if c.Banks < 1 {
+		c.Banks = 1
+	}
+	if c.Banks > banks {
+		return fmt.Errorf("hammer: config wants %d banks but platform has %d", c.Banks, banks)
+	}
+	if c.Nops < 0 {
+		return fmt.Errorf("hammer: negative NOP count %d", c.Nops)
+	}
+	return nil
+}
+
+// Session binds one attack context: an architecture profile, a DIMM, the
+// platform's DRAM address mapping, the memory controller and the
+// speculative CPU model. All hammering, sweeping and fuzzing operations
+// run through a session.
+type Session struct {
+	Arch *arch.Arch
+	DIMM *arch.DIMM
+	Map  *mapping.Mapping
+	Dev  *dram.Device
+	Ctrl *memctrl.Controller
+	Eng  *cpu.Engine
+	Rand *stats.Rand
+}
+
+// NewSession creates a session for the architecture/DIMM pair. The seed
+// fixes both the DIMM's vulnerability map and the engine's stochastic
+// reordering.
+func NewSession(a *arch.Arch, d *arch.DIMM, seed int64) (*Session, error) {
+	family := a.MappingFamily
+	if d.DDR5 {
+		// DDR5 systems use the extended mapping with the sub-channel
+		// function (§6).
+		family += "-ddr5"
+	}
+	m, ok := mapping.ForPlatform(family, d.SizeGiB)
+	if !ok {
+		return nil, fmt.Errorf("hammer: no mapping for family %q at %d GiB", family, d.SizeGiB)
+	}
+	r := stats.NewRand(seed)
+	dev := dram.NewDevice(d, seed^0x5ca1ab1e)
+	ctrl := memctrl.New(a, m, dev)
+	return &Session{
+		Arch: a, DIMM: d, Map: m, Dev: dev, Ctrl: ctrl,
+		Eng:  cpu.NewEngine(a, ctrl, r),
+		Rand: r,
+	}, nil
+}
+
+// EnablePTRR turns on the platform pTRR mitigation (§6).
+func (s *Session) EnablePTRR(on bool) { s.Dev.PTRR = on }
+
+// Result is the outcome of hammering one pattern at one location.
+type Result struct {
+	cpu.Result
+	Flips []dram.Flip
+}
+
+// FlipCount returns the number of observed bit flips.
+func (r Result) FlipCount() int { return len(r.Flips) }
+
+// ActivationsPerSecond returns the achieved DRAM activation rate.
+func (r Result) ActivationsPerSecond() float64 {
+	if r.TimeNS <= 0 {
+		return 0
+	}
+	return float64(r.ACTs) / (r.TimeNS * 1e-9)
+}
+
+// HammerPattern executes pat for approximately `activations` hammer
+// accesses at the given base row and bank under cfg, and returns timing,
+// ordering and flip results. For multi-bank configs the pattern is
+// interleaved across cfg.Banks banks starting at `bank`.
+func (s *Session) HammerPattern(pat *pattern.Pattern, cfg Config, bank int, baseRow uint64, activations int) (Result, error) {
+	if err := pat.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.validate(s.Map.Banks()); err != nil {
+		return Result{}, err
+	}
+	maxOff := uint64(pat.MaxOffset())
+	if baseRow+maxOff+2 >= s.Map.Rows() {
+		return Result{}, fmt.Errorf("hammer: base row %d + offset %d exceeds %d rows", baseRow, maxOff, s.Map.Rows())
+	}
+	prog, err := s.build(pat, cfg, bank, baseRow)
+	if err != nil {
+		return Result{}, err
+	}
+	perIter := prog.Accesses()
+	if perIter == 0 {
+		return Result{}, fmt.Errorf("hammer: pattern %d rendered to zero accesses", pat.ID)
+	}
+	iters := activations / perIter
+	if iters < 1 {
+		iters = 1
+	}
+	flipsBefore := len(s.Dev.Flips())
+	if cfg.SyncRefresh {
+		s.Eng.SyncToRefresh()
+	}
+	res := s.Eng.Run(prog, iters, cpu.Config{Style: cfg.Style, Obfuscate: cfg.Obfuscate})
+	flips := s.Dev.Flips()[flipsBefore:]
+	out := Result{Result: res}
+	out.Flips = append(out.Flips, flips...)
+	return out, nil
+}
+
+// HammerPatternFor hammers like HammerPattern but with a simulated-time
+// budget instead of an access count: the pattern repeats until at least
+// durationNS of simulated time has elapsed. Fixed-time budgets make
+// strategy comparisons fair — a faster primitive simply lands more
+// hammer attempts, exactly as in the paper's wall-clock-bounded
+// campaigns — and guarantee every run spans multiple refresh windows.
+func (s *Session) HammerPatternFor(pat *pattern.Pattern, cfg Config, bank int, baseRow uint64, durationNS float64) (Result, error) {
+	if err := pat.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.validate(s.Map.Banks()); err != nil {
+		return Result{}, err
+	}
+	maxOff := uint64(pat.MaxOffset())
+	if baseRow+maxOff+2 >= s.Map.Rows() {
+		return Result{}, fmt.Errorf("hammer: base row %d + offset %d exceeds %d rows", baseRow, maxOff, s.Map.Rows())
+	}
+	prog, err := s.build(pat, cfg, bank, baseRow)
+	if err != nil {
+		return Result{}, err
+	}
+	perIter := prog.Accesses()
+	if perIter == 0 {
+		return Result{}, fmt.Errorf("hammer: pattern %d rendered to zero accesses", pat.ID)
+	}
+	flipsBefore := len(s.Dev.Flips())
+	var out Result
+	// Run in chunks, re-estimating the remaining iteration count from
+	// the measured pace; a few passes converge for any configuration.
+	if cfg.SyncRefresh {
+		s.Eng.SyncToRefresh()
+	}
+	chunkIters := 200_000/perIter + 1
+	deadline := s.Eng.Now() + durationNS
+	first := true
+	for s.Eng.Now() < deadline {
+		remaining := deadline - s.Eng.Now()
+		if out.TimeNS > 0 && out.Accesses > 0 {
+			pace := out.TimeNS / float64(out.Accesses) // ns per access
+			chunkIters = int(remaining/pace)/perIter + 1
+		}
+		res := s.Eng.Run(prog, chunkIters, cpu.Config{Style: cfg.Style, Obfuscate: cfg.Obfuscate})
+		out.TimeNS += res.TimeNS
+		out.Accesses += res.Accesses
+		out.Hits += res.Hits
+		out.Misses += res.Misses
+		out.ACTs += res.ACTs
+		if first {
+			out.StartTime = res.StartTime
+			first = false
+		}
+		out.EndTime = res.EndTime
+	}
+	out.Flips = append(out.Flips, s.Dev.Flips()[flipsBefore:]...)
+	return out, nil
+}
+
+// build lowers a pattern into a cpu.Program under cfg.
+func (s *Session) build(pat *pattern.Pattern, cfg Config, firstBank int, baseRow uint64) (*cpu.Program, error) {
+	seq := pat.Render()
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("hammer: pattern %d rendered empty", pat.ID)
+	}
+
+	// Line table: one cache line per (bank, row offset).
+	type key struct {
+		bank int
+		off  int
+	}
+	lineOf := map[key]int32{}
+	var prog cpu.Program
+	addLine := func(bank, off int) (int32, error) {
+		k := key{bank, off}
+		if id, ok := lineOf[k]; ok {
+			return id, nil
+		}
+		pa, err := s.Map.PhysAddr(bank, baseRow+uint64(off), 0)
+		if err != nil {
+			return 0, err
+		}
+		id := int32(len(prog.Lines))
+		prog.Lines = append(prog.Lines, pa)
+		lineOf[k] = id
+		return id, nil
+	}
+
+	accessKind := cpu.OpLoad
+	if cfg.Instr.IsPrefetch() {
+		accessKind = cpu.OpPrefetch
+	}
+	hint := cfg.Instr.Hint()
+
+	prog.Ops = append(prog.Ops, cpu.Op{Kind: cpu.OpIterStart})
+	banks := cfg.Banks
+	for _, off := range seq {
+		// Multi-bank: the same pattern slot is replicated across the
+		// parallel banks back-to-back (SledgeHammer interleaving).
+		for b := 0; b < banks; b++ {
+			bank := (firstBank + b) % s.Map.Banks()
+			line, err := addLine(bank, off)
+			if err != nil {
+				return nil, err
+			}
+			prog.Ops = append(prog.Ops, cpu.Op{Kind: accessKind, Line: line, Hint: hint})
+			prog.Ops = append(prog.Ops, cpu.Op{Kind: cpu.OpFlush, Line: line})
+			switch cfg.Barrier {
+			case BarrierNop:
+				if cfg.Nops > 0 {
+					prog.Ops = append(prog.Ops, cpu.Op{Kind: cpu.OpNop, N: int32(cfg.Nops)})
+				}
+			case BarrierLFence:
+				prog.Ops = append(prog.Ops, cpu.Op{Kind: cpu.OpLFence})
+			case BarrierMFence:
+				prog.Ops = append(prog.Ops, cpu.Op{Kind: cpu.OpMFence})
+			case BarrierCPUID:
+				prog.Ops = append(prog.Ops, cpu.Op{Kind: cpu.OpCPUID})
+			}
+		}
+	}
+	return &prog, nil
+}
+
+// ResetDevice clears accumulated DRAM state (disturbance and recorded
+// flips) — the equivalent of re-initializing victim memory between
+// trials.
+func (s *Session) ResetDevice() { s.Dev.Reset() }

@@ -1,0 +1,316 @@
+package hammer
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/cpu"
+	"rhohammer/internal/pattern"
+)
+
+func newTestSession(t *testing.T, a *arch.Arch, d *arch.DIMM) *Session {
+	t.Helper()
+	s, err := NewSession(a, d, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionWiring(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS3())
+	if s.Map.Banks() != 32 || s.Dev.Banks() != 32 {
+		t.Error("mapping/device bank mismatch")
+	}
+	if s.Map.Name != "comet-rocket-16g" {
+		t.Errorf("wrong mapping %s", s.Map.Name)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS3())
+	pat := pattern.KnownGood()
+	if _, err := s.HammerPattern(pat, Config{Banks: 1000}, 0, 5000, 1000); err == nil {
+		t.Error("excessive bank count accepted")
+	}
+	if _, err := s.HammerPattern(pat, Config{Nops: -1}, 0, 5000, 1000); err == nil {
+		t.Error("negative NOPs accepted")
+	}
+	if _, err := s.HammerPattern(pat, Config{Banks: 1}, 0, s.Map.Rows()-2, 1000); err == nil {
+		t.Error("out-of-range base row accepted")
+	}
+	bad := &pattern.Pattern{Slots: 0}
+	if _, err := s.HammerPattern(bad, Config{Banks: 1}, 0, 5000, 1000); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestConfigStrings(t *testing.T) {
+	c := RhoHammer(arch.RaptorLake(), 3, 240)
+	s := c.String()
+	if s == "" || c.Barrier != BarrierNop || !c.Obfuscate {
+		t.Errorf("RhoHammer config: %s", s)
+	}
+	for _, b := range []Barrier{BarrierNone, BarrierNop, BarrierLFence, BarrierMFence, BarrierCPUID} {
+		if b.String() == "" {
+			t.Error("empty barrier name")
+		}
+	}
+	for _, in := range []Instr{InstrLoad, InstrPrefetchT0, InstrPrefetchT1, InstrPrefetchT2, InstrPrefetchNTA} {
+		if in.String() == "" {
+			t.Error("empty instruction name")
+		}
+	}
+	if InstrLoad.IsPrefetch() || !InstrPrefetchNTA.IsPrefetch() {
+		t.Error("IsPrefetch classification")
+	}
+	if InstrPrefetchT0.Hint() != cpu.HintT0 || InstrPrefetchNTA.Hint() != cpu.HintNTA {
+		t.Error("hint mapping")
+	}
+}
+
+// The headline per-architecture behavior matrix of the paper:
+// baselines flip on Comet/Rocket, die on Alder/Raptor; ρHammer's
+// counter-speculation prefetching flips everywhere.
+func TestAttackLandscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long landscape test")
+	}
+	pat := pattern.KnownGood()
+	for _, c := range []struct {
+		arch       *arch.Arch
+		blWorks    bool
+		singleNops int
+	}{
+		{arch.CometLake(), true, 190},
+		{arch.RocketLake(), true, 200},
+		{arch.AlderLake(), false, 230},
+		{arch.RaptorLake(), false, 260},
+	} {
+		s := newTestSession(t, c.arch, arch.DIMMS3())
+		bl, err := s.HammerPatternFor(pat, Baseline(), 0, 5000, 200e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ResetDevice()
+		rho, err := s.HammerPatternFor(pat, RhoHammer(c.arch, 1, c.singleNops), 0, 5000, 200e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := bl.FlipCount() > 0; got != c.blWorks {
+			t.Errorf("%s: baseline flips=%d, want working=%v", c.arch.Name, bl.FlipCount(), c.blWorks)
+		}
+		if rho.FlipCount() == 0 {
+			t.Errorf("%s: rhoHammer produced no flips", c.arch.Name)
+		}
+		if c.blWorks && rho.FlipCount() < bl.FlipCount() {
+			t.Errorf("%s: rhoHammer (%d) should at least match baseline (%d)",
+				c.arch.Name, rho.FlipCount(), bl.FlipCount())
+		}
+	}
+}
+
+// Load-based hammering must stay dead on Raptor Lake across the whole
+// counter-speculation NOP range (§4.4).
+func TestLoadCounterSpecStillFailsOnRaptor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long NOP scan")
+	}
+	pat := pattern.KnownGood()
+	for _, nops := range []int{0, 100, 300, 600, 1000} {
+		s := newTestSession(t, arch.RaptorLake(), arch.DIMMS3())
+		cfg := Config{Instr: InstrLoad, Banks: 1, Barrier: BarrierNop, Nops: nops, Obfuscate: true}
+		res, err := s.HammerPatternFor(pat, cfg, 0, 5000, 200e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FlipCount() > 0 {
+			t.Errorf("load hammering with %d NOPs flipped %d bits on Raptor Lake", nops, res.FlipCount())
+		}
+	}
+}
+
+func TestUniformDoubleSidedDefeatedByTRR(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS4())
+	res, err := s.HammerPatternFor(pattern.DoubleSided(64), Baseline(), 0, 5000, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlipCount() != 0 {
+		t.Errorf("TRR failed against uniform double-sided: %d flips", res.FlipCount())
+	}
+	if s.Dev.TRREvents() == 0 {
+		t.Error("TRR never fired")
+	}
+}
+
+func TestMultiBankSpreadsActivations(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS3())
+	pat := pattern.KnownGood()
+	res, err := s.HammerPattern(pat, Config{Instr: InstrPrefetchT2, Banks: 3, Barrier: BarrierNop, Nops: 70, Obfuscate: true}, 0, 5000, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ACTs == 0 {
+		t.Fatal("no activations")
+	}
+	for bank := 0; bank < 3; bank++ {
+		if s.Dev.ActCount(bank, 5000) == 0 {
+			t.Errorf("bank %d received no activations on the pattern base row", bank)
+		}
+	}
+	if s.Dev.ActCount(3, 5000) != 0 {
+		t.Error("bank outside the configured set was hammered")
+	}
+}
+
+func TestHammerDeterministicInSeed(t *testing.T) {
+	run := func() (uint64, int) {
+		s := newTestSession(t, arch.RaptorLake(), arch.DIMMS3())
+		res, err := s.HammerPatternFor(pattern.KnownGood(), RhoHammer(s.Arch, 1, 260), 0, 5000, 150e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ACTs, res.FlipCount()
+	}
+	a1, f1 := run()
+	a2, f2 := run()
+	if a1 != a2 || f1 != f2 {
+		t.Errorf("same seed diverged: ACTs %d/%d flips %d/%d", a1, a2, f1, f2)
+	}
+}
+
+func TestHammerForDurationBudget(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS3())
+	res, err := s.HammerPatternFor(pattern.KnownGood(), Baseline(), 0, 5000, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeNS < 50e6 {
+		t.Errorf("run shorter than budget: %.1fms", res.TimeNS/1e6)
+	}
+	if res.TimeNS > 75e6 {
+		t.Errorf("run overshot budget badly: %.1fms", res.TimeNS/1e6)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := Result{}
+	r.TimeNS = 1e9
+	r.ACTs = 5_000_000
+	if r.ActivationsPerSecond() != 5e6 {
+		t.Errorf("act rate %v", r.ActivationsPerSecond())
+	}
+	if (Result{}).ActivationsPerSecond() != 0 {
+		t.Error("zero-time act rate")
+	}
+	if r.FlipCount() != 0 {
+		t.Error("FlipCount on empty")
+	}
+}
+
+func TestPTRRSuppressesFlips(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS4())
+	s.EnablePTRR(true)
+	res, err := s.HammerPatternFor(pattern.KnownGood(), Baseline(), 0, 5000, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlipCount() != 0 {
+		t.Errorf("pTRR enabled but %d flips observed", res.FlipCount())
+	}
+}
+
+func TestTuneNopsFindsInteriorOptimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long tuning sweep")
+	}
+	s := newTestSession(t, arch.RaptorLake(), arch.DIMMS3())
+	base := Config{Instr: InstrPrefetchT2, Banks: 1, Obfuscate: true}
+	tune, err := s.TuneNops(pattern.KnownGood(), base, 1000, 100, 150e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tune.BestFlips == 0 {
+		t.Fatal("tuning found no flips at any NOP count")
+	}
+	if tune.BestNops == 0 || tune.BestNops == 1000 {
+		t.Errorf("optimum at boundary (%d): expected interior inverted-U", tune.BestNops)
+	}
+	if tune.Curve[0].Flips != 0 {
+		t.Errorf("zero NOPs should give zero flips on Raptor Lake, got %d", tune.Curve[0].Flips)
+	}
+	last := tune.Curve[len(tune.Curve)-1]
+	if last.Flips > tune.BestFlips/2 {
+		t.Errorf("flips at 1000 NOPs (%d) should fall well below optimum (%d)", last.Flips, tune.BestFlips)
+	}
+}
+
+func TestFuzzReportConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz campaign")
+	}
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS4())
+	rep, err := s.Fuzz(RhoHammer(s.Arch, 3, 70), FuzzOptions{Patterns: 6, Locations: 1, DurationNS: 120e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tried != 6 {
+		t.Errorf("tried = %d", rep.Tried)
+	}
+	if rep.Effective > rep.Tried {
+		t.Error("effective > tried")
+	}
+	if rep.Best.Flips > rep.TotalFlips {
+		t.Error("best pattern exceeds total")
+	}
+	if rep.Effective > 0 && rep.Best.Pattern == nil {
+		t.Error("effective patterns but no best recorded")
+	}
+}
+
+func TestSyncRefreshAlignsStart(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS3())
+	// Desynchronize the engine's clock with a first short run.
+	cfg := Config{Instr: InstrPrefetchT2, Banks: 1}
+	if _, err := s.HammerPattern(pattern.KnownGood(), cfg, 0, 5000, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Ctrl.NextRefresh()
+	cfg.SyncRefresh = true
+	res, err := s.HammerPattern(pattern.KnownGood(), cfg, 0, 5000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synchronized run must begin exactly at the REF boundary that
+	// was pending when it was issued.
+	if res.StartTime != before {
+		t.Errorf("synchronized start %.1f != pending REF %.1f", res.StartTime, before)
+	}
+}
+
+func TestRefineNeverRegresses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("refinement rounds")
+	}
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS4())
+	cfg := RhoHammer(s.Arch, 3, 70)
+	res, err := s.Refine(pattern.KnownGood(), cfg, 3, 2, 120e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Pattern == nil {
+		t.Fatal("no best pattern recorded")
+	}
+	if res.Rounds == 0 {
+		t.Error("no rounds executed")
+	}
+	// The refined pattern must score at least the baseline (hill
+	// climbing never accepts regressions).
+	if res.Improvements > 0 && res.Best.Pattern.ID == pattern.KnownGood().ID {
+		t.Error("improvements recorded but pattern unchanged")
+	}
+	if err := res.Best.Pattern.Validate(); err != nil {
+		t.Errorf("refined pattern invalid: %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+package hammer
+
+import (
+	"rhohammer/internal/pattern"
+)
+
+// RefineResult reports a hill-climbing refinement run.
+type RefineResult struct {
+	// Best is the highest-yield pattern found (may be the input).
+	Best PatternScore
+	// Rounds is the number of mutation rounds executed.
+	Rounds int
+	// Improvements counts accepted mutations.
+	Improvements int
+}
+
+// Refine hill-climbs from an effective pattern: each round evaluates a
+// few mutated variants at fresh locations and keeps the best improver —
+// the replay-and-refine step the non-uniform fuzzing workflow applies to
+// campaign winners before sweeping them at scale.
+func (s *Session) Refine(pat *pattern.Pattern, cfg Config, rounds, variantsPerRound int, durationNS float64) (RefineResult, error) {
+	if rounds <= 0 {
+		rounds = 4
+	}
+	if variantsPerRound <= 0 {
+		variantsPerRound = 3
+	}
+	score := func(p *pattern.Pattern, salt uint64) (int, error) {
+		span := uint64(p.MaxOffset() + 8)
+		rows := s.Map.Rows()
+		baseRow := (salt*104729*span + 256) % (rows - span - 4)
+		s.ResetDevice()
+		res, err := s.HammerPatternFor(p, cfg, int(salt)%s.Map.Banks(), baseRow, durationNS)
+		if err != nil {
+			return 0, err
+		}
+		return res.FlipCount(), nil
+	}
+
+	out := RefineResult{}
+	baseline, err := score(pat, 1)
+	if err != nil {
+		return out, err
+	}
+	out.Best = PatternScore{Pattern: pat, Flips: baseline}
+
+	for round := 0; round < rounds; round++ {
+		out.Rounds++
+		improved := false
+		for v := 0; v < variantsPerRound; v++ {
+			cand := pattern.Mutate(out.Best.Pattern, s.Rand)
+			if cand.Validate() != nil {
+				continue
+			}
+			flips, err := score(cand, uint64(round*variantsPerRound+v+2))
+			if err != nil {
+				return out, err
+			}
+			if flips > out.Best.Flips {
+				out.Best = PatternScore{Pattern: cand, Flips: flips}
+				out.Improvements++
+				improved = true
+			}
+		}
+		if !improved {
+			break // local optimum: stop early like the real workflow
+		}
+	}
+	return out, nil
+}

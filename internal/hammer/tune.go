@@ -1,0 +1,60 @@
+package hammer
+
+import (
+	"rhohammer/internal/pattern"
+)
+
+// TuneResult reports the outcome of the counter-speculation tuning phase.
+type TuneResult struct {
+	BestNops  int
+	BestFlips int
+	// Curve records flips observed at each probed NOP count, in probe
+	// order (the data behind Fig. 10).
+	Curve []TunePoint
+}
+
+// TunePoint is one probe of the NOP sweep.
+type TunePoint struct {
+	Nops  int
+	Flips int
+}
+
+// TuneNops runs ρHammer's tuning phase (§4.4): sweep the NOP count over
+// [0, maxNops] in the given step, hammering `pat` for durationNS of
+// simulated time per probe at `locations` distinct base rows, and
+// return the count maximizing total flips. The optimum is
+// platform-specific but transfers across patterns on the same platform,
+// so the attack runs this once per target.
+func (s *Session) TuneNops(pat *pattern.Pattern, cfg Config, maxNops, step int, durationNS float64, locations int) (TuneResult, error) {
+	if step <= 0 {
+		step = 50
+	}
+	if locations <= 0 {
+		locations = 1
+	}
+	cfg.Barrier = BarrierNop
+	var out TuneResult
+	out.BestNops = -1
+	rows := s.Map.Rows()
+	span := uint64(pat.MaxOffset() + 8)
+	for nops := 0; nops <= maxNops; nops += step {
+		cfg.Nops = nops
+		flips := 0
+		for loc := 0; loc < locations; loc++ {
+			s.ResetDevice()
+			baseRow := (uint64(loc)*7919*span + 64) % (rows - span - 4)
+			bank := loc % s.Map.Banks()
+			res, err := s.HammerPatternFor(pat, cfg, bank, baseRow, durationNS)
+			if err != nil {
+				return out, err
+			}
+			flips += res.FlipCount()
+		}
+		out.Curve = append(out.Curve, TunePoint{Nops: nops, Flips: flips})
+		if flips > out.BestFlips || out.BestNops < 0 {
+			out.BestFlips = flips
+			out.BestNops = nops
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package mapping
+
+// Ground-truth mappings reverse-engineered in the paper (Table 4).
+//
+// Comet/Rocket Lake share one scheme (traditional: small two-bit
+// functions, plenty of pure row bits); Alder/Raptor Lake share another
+// (wide functions spanning the full row range, no pure row bits, plus a
+// low-order three-bit function that never touches a row bit).
+
+// CometRocket8G is the Comet/Rocket Lake mapping for 8 GiB single-rank
+// DIMMs (16 banks, rows 17-32).
+func CometRocket8G() *Mapping {
+	return &Mapping{
+		Name: "comet-rocket-8g",
+		Funcs: []BankFunc{
+			NewBankFunc(16, 19),
+			NewBankFunc(15, 18),
+			NewBankFunc(14, 17),
+			NewBankFunc(6, 13),
+		},
+		RowLo: 17, RowHi: 32,
+	}
+}
+
+// CometRocket16G is the Comet/Rocket Lake mapping for 16 GiB dual-rank
+// DIMMs (32 geographic banks, rows 18-33).
+func CometRocket16G() *Mapping {
+	return &Mapping{
+		Name: "comet-rocket-16g",
+		Funcs: []BankFunc{
+			NewBankFunc(17, 21),
+			NewBankFunc(16, 20),
+			NewBankFunc(15, 19),
+			NewBankFunc(14, 18),
+			NewBankFunc(6, 13),
+		},
+		RowLo: 18, RowHi: 33,
+	}
+}
+
+// CometRocket32G is the Comet/Rocket Lake mapping for 32 GiB dual-rank
+// DIMMs (rows 18-34).
+func CometRocket32G() *Mapping {
+	m := CometRocket16G()
+	m.Name = "comet-rocket-32g"
+	m.RowHi = 34
+	return m
+}
+
+// AlderRaptor8G is the Alder/Raptor Lake mapping for 8 GiB single-rank
+// DIMMs. Note the wide functions covering every row bit: there are no
+// pure row bits, and the (9, 11, 13) function contains no row bit at all.
+func AlderRaptor8G() *Mapping {
+	return &Mapping{
+		Name: "alder-raptor-8g",
+		Funcs: []BankFunc{
+			NewBankFunc(14, 17, 21, 26, 29, 32),
+			NewBankFunc(15, 18, 20, 23, 24, 27, 30),
+			NewBankFunc(16, 19, 22, 25, 28, 31),
+			NewBankFunc(9, 11, 13),
+		},
+		RowLo: 17, RowHi: 32,
+	}
+}
+
+// AlderRaptor16G is the Alder/Raptor Lake mapping for 16 GiB dual-rank
+// DIMMs (rows 18-33).
+func AlderRaptor16G() *Mapping {
+	return &Mapping{
+		Name: "alder-raptor-16g",
+		Funcs: []BankFunc{
+			NewBankFunc(14, 18, 26, 29, 32),
+			NewBankFunc(16, 20, 23, 24, 27, 30, 33),
+			NewBankFunc(17, 21, 22, 25, 28, 31),
+			NewBankFunc(15, 19),
+			NewBankFunc(9, 11, 13),
+		},
+		RowLo: 18, RowHi: 33,
+	}
+}
+
+// AlderRaptor32G is the Alder/Raptor Lake mapping for 32 GiB dual-rank
+// DIMMs (rows 18-34).
+func AlderRaptor32G() *Mapping {
+	return &Mapping{
+		Name: "alder-raptor-32g",
+		Funcs: []BankFunc{
+			NewBankFunc(14, 18, 26, 29, 32),
+			NewBankFunc(16, 20, 23, 24, 27, 30, 33),
+			NewBankFunc(17, 21, 22, 25, 28, 31, 34),
+			NewBankFunc(15, 19),
+			NewBankFunc(9, 11, 13),
+		},
+		RowLo: 18, RowHi: 34,
+	}
+}
+
+// AlderRaptorDDR5 is the mapping observed on the paper's Alder/Raptor
+// Lake DDR5 setups (§6): one additional low-order sub-channel function
+// on top of six bank functions, 64 geographic banks per rank. The paper
+// notes its reverse-engineering tool recovers these systems' functions
+// but classifying which one selects the sub-channel requires extra work;
+// in this repository the sub-channel function is simply another member
+// of the bank-function set, which is all Rowhammer needs.
+func AlderRaptorDDR5() *Mapping {
+	return &Mapping{
+		Name: "alder-raptor-ddr5-16g",
+		Funcs: []BankFunc{
+			NewBankFunc(6, 13), // sub-channel
+			NewBankFunc(14, 18, 26, 29, 32),
+			NewBankFunc(16, 20, 23, 24, 27, 30, 33),
+			NewBankFunc(17, 21, 22, 25, 28, 31),
+			NewBankFunc(15, 19),
+			NewBankFunc(9, 11, 12),
+		},
+		RowLo: 18, RowHi: 33,
+	}
+}
+
+// ForPlatform returns the ground-truth mapping for a platform family and
+// DIMM capacity in GiB. family is "comet-rocket" or "alder-raptor".
+func ForPlatform(family string, sizeGiB int) (*Mapping, bool) {
+	switch family {
+	case "comet-rocket":
+		switch sizeGiB {
+		case 8:
+			return CometRocket8G(), true
+		case 16:
+			return CometRocket16G(), true
+		case 32:
+			return CometRocket32G(), true
+		}
+	case "alder-raptor":
+		switch sizeGiB {
+		case 8:
+			return AlderRaptor8G(), true
+		case 16:
+			return AlderRaptor16G(), true
+		case 32:
+			return AlderRaptor32G(), true
+		}
+	case "alder-raptor-ddr5":
+		if sizeGiB == 16 {
+			return AlderRaptorDDR5(), true
+		}
+	}
+	return nil, false
+}
+
+// All returns every known ground-truth mapping, keyed for Table 4.
+func All() []*Mapping {
+	return []*Mapping{
+		CometRocket8G(), CometRocket16G(), CometRocket32G(),
+		AlderRaptor8G(), AlderRaptor16G(), AlderRaptor32G(),
+	}
+}

@@ -1,0 +1,255 @@
+// Package mapping models the physical-address → DRAM-address translation
+// performed by the memory controller.
+//
+// A mapping consists of a set of bank functions — each a linear XOR over a
+// subset of physical address bits — and a contiguous range of row bits.
+// The packages mirrors the paper's Table 4: Comet/Rocket Lake use the
+// traditional scheme with pure row bits, while Alder/Raptor Lake spread
+// wide bank functions across the entire row-bit range, leaving no pure row
+// bits at all (the property that defeats prior reverse-engineering tools).
+package mapping
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// BankFunc is one bank-addressing function: a bitmask over the physical
+// address whose XOR-fold (parity) yields one bit of the bank index.
+type BankFunc uint64
+
+// NewBankFunc builds a function from explicit bit positions.
+func NewBankFunc(bitPositions ...uint) BankFunc {
+	var f BankFunc
+	for _, b := range bitPositions {
+		f |= 1 << b
+	}
+	return f
+}
+
+// Eval returns the parity (0 or 1) of the masked physical address.
+func (f BankFunc) Eval(pa uint64) uint64 {
+	return uint64(bits.OnesCount64(pa&uint64(f)) & 1)
+}
+
+// Bits returns the bit positions of the function in ascending order.
+func (f BankFunc) Bits() []uint {
+	var out []uint
+	for v := uint64(f); v != 0; v &= v - 1 {
+		out = append(out, uint(bits.TrailingZeros64(v)))
+	}
+	return out
+}
+
+// String renders the function like the paper: "(14, 18, 26, 29, 32)".
+func (f BankFunc) String() string {
+	parts := f.Bits()
+	strs := make([]string, len(parts))
+	for i, b := range parts {
+		strs[i] = fmt.Sprintf("%d", b)
+	}
+	return "(" + strings.Join(strs, ", ") + ")"
+}
+
+// Mapping is a complete physical-to-DRAM address mapping.
+type Mapping struct {
+	Name  string
+	Funcs []BankFunc // one per bank-index bit, low bit first
+	RowLo uint       // lowest row bit (inclusive)
+	RowHi uint       // highest row bit (inclusive)
+}
+
+// Banks returns the number of banks the mapping addresses (2^len(Funcs)).
+// This counts every geographic bank location: channel, rank, bank group
+// and intra-group bank bits are deliberately not distinguished, matching
+// the paper's treatment.
+func (m *Mapping) Banks() int { return 1 << len(m.Funcs) }
+
+// Rows returns the number of rows per bank.
+func (m *Mapping) Rows() uint64 { return 1 << (m.RowHi - m.RowLo + 1) }
+
+// Size returns the number of addressable bytes.
+func (m *Mapping) Size() uint64 { return 1 << (m.RowHi + 1) }
+
+// Bank computes the bank index of a physical address.
+func (m *Mapping) Bank(pa uint64) int {
+	var b int
+	for i, f := range m.Funcs {
+		b |= int(f.Eval(pa)) << i
+	}
+	return b
+}
+
+// Row extracts the row address of a physical address.
+func (m *Mapping) Row(pa uint64) uint64 {
+	return (pa >> m.RowLo) & (m.Rows() - 1)
+}
+
+// RowMask returns the mask of all row bits in the physical address.
+func (m *Mapping) RowMask() uint64 {
+	return (m.Rows() - 1) << m.RowLo
+}
+
+// SameBank reports whether two physical addresses map to the same bank.
+func (m *Mapping) SameBank(a, b uint64) bool { return m.Bank(a) == m.Bank(b) }
+
+// SameRow reports whether two physical addresses map to the same row
+// index (not necessarily the same bank).
+func (m *Mapping) SameRow(a, b uint64) bool { return m.Row(a) == m.Row(b) }
+
+// PureRowBits returns the row bits that participate in no bank function —
+// the bits prior tools relied on and that vanish on Alder/Raptor Lake.
+func (m *Mapping) PureRowBits() []uint {
+	var used uint64
+	for _, f := range m.Funcs {
+		used |= uint64(f)
+	}
+	var out []uint
+	for b := m.RowLo; b <= m.RowHi; b++ {
+		if used&(1<<b) == 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BankBits returns every physical-address bit that participates in at
+// least one bank function, ascending.
+func (m *Mapping) BankBits() []uint {
+	var used uint64
+	for _, f := range m.Funcs {
+		used |= uint64(f)
+	}
+	return BankFunc(used).Bits()
+}
+
+// PhysAddr constructs a physical address that maps to the given bank and
+// row, with the low (column) bits taken from col. It fixes the row bits
+// first, then solves for the bank index using only bits below RowLo so
+// the row is undisturbed. Returns an error if the bank is unreachable,
+// which cannot happen for any real mapping in this package.
+func (m *Mapping) PhysAddr(bank int, row uint64, col uint64) (uint64, error) {
+	if bank < 0 || bank >= m.Banks() {
+		return 0, fmt.Errorf("mapping %s: bank %d out of range [0,%d)", m.Name, bank, m.Banks())
+	}
+	if row >= m.Rows() {
+		return 0, fmt.Errorf("mapping %s: row %d out of range [0,%d)", m.Name, row, m.Rows())
+	}
+	lowMask := uint64(1)<<m.RowLo - 1
+	pa := row<<m.RowLo | col&lowMask
+	want := uint64(bank)
+	have := uint64(m.Bank(pa))
+	delta := want ^ have
+	if delta == 0 {
+		return pa, nil
+	}
+	fix, err := m.solveLowBits(delta, col&lowMask)
+	if err != nil {
+		return 0, err
+	}
+	return pa ^ fix, nil
+}
+
+// solveLowBits finds an XOR-mask over bits < RowLo that changes the bank
+// index by delta, via Gaussian elimination over GF(2). The returned mask
+// avoids, where possible, perturbing bits set in keep (best effort; the
+// pivot choice prefers the lowest free bit of each function).
+func (m *Mapping) solveLowBits(delta uint64, keep uint64) (uint64, error) {
+	lowMask := uint64(1)<<m.RowLo - 1
+	// rows[i] = (coefficient mask over low bits, rhs bit)
+	type eq struct {
+		coef uint64
+		rhs  uint64
+	}
+	eqs := make([]eq, len(m.Funcs))
+	for i, f := range m.Funcs {
+		eqs[i] = eq{uint64(f) & lowMask, (delta >> i) & 1}
+	}
+	_ = keep
+	var solution uint64
+	used := uint64(0) // low bits already consumed as pivots
+	for i := range eqs {
+		if eqs[i].coef == 0 {
+			if eqs[i].rhs != 0 {
+				return 0, fmt.Errorf("mapping %s: bank function %s has no bits below row bit %d; bank unreachable at fixed row", m.Name, m.Funcs[i], m.RowLo)
+			}
+			continue
+		}
+		pivotMask := eqs[i].coef &^ used
+		if pivotMask == 0 {
+			pivotMask = eqs[i].coef
+		}
+		pivot := uint64(1) << uint(bits.TrailingZeros64(pivotMask))
+		used |= pivot
+		// Eliminate the pivot from all other equations.
+		for j := range eqs {
+			if j != i && eqs[j].coef&pivot != 0 {
+				eqs[j].coef ^= eqs[i].coef
+				eqs[j].rhs ^= eqs[i].rhs
+			}
+		}
+	}
+	// Back-substitute: with elimination done, each equation with a pivot
+	// is independent; set its pivot bit iff rhs, accounting for already
+	// chosen bits in its coefficient set.
+	for i := range eqs {
+		if eqs[i].coef == 0 {
+			continue
+		}
+		cur := uint64(bits.OnesCount64(eqs[i].coef&solution) & 1)
+		if cur != eqs[i].rhs {
+			pivotMask := eqs[i].coef &^ (solution)
+			if pivotMask == 0 {
+				return 0, fmt.Errorf("mapping %s: inconsistent bank system", m.Name)
+			}
+			solution |= uint64(1) << uint(bits.TrailingZeros64(pivotMask))
+		}
+	}
+	// Verify.
+	for i, f := range m.Funcs {
+		if f.Eval(solution)&1 != (delta>>i)&1 {
+			return 0, fmt.Errorf("mapping %s: solver failed to realize bank delta %#x", m.Name, delta)
+		}
+	}
+	return solution, nil
+}
+
+// Canonical returns a copy of the mapping with functions sorted by their
+// lowest participating bit, the canonical ordering used when comparing a
+// recovered mapping against ground truth.
+func (m *Mapping) Canonical() *Mapping {
+	out := &Mapping{Name: m.Name, RowLo: m.RowLo, RowHi: m.RowHi}
+	out.Funcs = append(out.Funcs, m.Funcs...)
+	sort.Slice(out.Funcs, func(a, b int) bool { return out.Funcs[a] < out.Funcs[b] })
+	return out
+}
+
+// Equal reports whether two mappings describe the same translation:
+// identical row-bit range and the same set of bank functions, modulo
+// function order. (Strictly, any GF(2) basis of the same function space
+// is equivalent; the recovery algorithm always produces the merged
+// canonical basis, so set equality is the right check here.)
+func (m *Mapping) Equal(o *Mapping) bool {
+	if o == nil || m.RowLo != o.RowLo || m.RowHi != o.RowHi || len(m.Funcs) != len(o.Funcs) {
+		return false
+	}
+	a, b := m.Canonical(), o.Canonical()
+	for i := range a.Funcs {
+		if a.Funcs[i] != b.Funcs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the mapping in the paper's Table 4 style.
+func (m *Mapping) String() string {
+	c := m.Canonical()
+	funcs := make([]string, len(c.Funcs))
+	for i, f := range c.Funcs {
+		funcs[i] = f.String()
+	}
+	return fmt.Sprintf("Bank Func: %s; Row: %d-%d", strings.Join(funcs, ", "), m.RowLo, m.RowHi)
+}

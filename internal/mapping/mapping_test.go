@@ -1,0 +1,263 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBankFuncEval(t *testing.T) {
+	f := NewBankFunc(3, 5)
+	cases := []struct {
+		pa   uint64
+		want uint64
+	}{
+		{0, 0},
+		{1 << 3, 1},
+		{1 << 5, 1},
+		{1<<3 | 1<<5, 0},
+		{0xFFFF, 0},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.pa); got != c.want {
+			t.Errorf("Eval(%#x) = %d, want %d", c.pa, got, c.want)
+		}
+	}
+}
+
+func TestBankFuncBitsAndString(t *testing.T) {
+	f := NewBankFunc(14, 18, 26)
+	bits := f.Bits()
+	want := []uint{14, 18, 26}
+	if len(bits) != len(want) {
+		t.Fatalf("bits = %v", bits)
+	}
+	for i := range bits {
+		if bits[i] != want[i] {
+			t.Errorf("bits[%d] = %d, want %d", i, bits[i], want[i])
+		}
+	}
+	if f.String() != "(14, 18, 26)" {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+func TestKnownMappingGeometry(t *testing.T) {
+	cases := []struct {
+		m          *Mapping
+		banks      int
+		rows       uint64
+		pureRows   bool
+		sizeGiB    uint64
+		lowFuncBit uint
+	}{
+		{CometRocket8G(), 16, 1 << 16, true, 8, 6},
+		{CometRocket16G(), 32, 1 << 16, true, 16, 6},
+		{CometRocket32G(), 32, 1 << 17, true, 32, 6},
+		{AlderRaptor8G(), 16, 1 << 16, false, 8, 9},
+		{AlderRaptor16G(), 32, 1 << 16, false, 16, 9},
+		{AlderRaptor32G(), 32, 1 << 17, false, 32, 9},
+	}
+	for _, c := range cases {
+		if c.m.Banks() != c.banks {
+			t.Errorf("%s: banks = %d, want %d", c.m.Name, c.m.Banks(), c.banks)
+		}
+		if c.m.Rows() != c.rows {
+			t.Errorf("%s: rows = %d, want %d", c.m.Name, c.m.Rows(), c.rows)
+		}
+		if c.m.Size() != c.sizeGiB<<30 {
+			t.Errorf("%s: size = %d, want %d GiB", c.m.Name, c.m.Size(), c.sizeGiB)
+		}
+		if got := len(c.m.PureRowBits()) > 0; got != c.pureRows {
+			t.Errorf("%s: pure row bits present = %v, want %v (bits %v)",
+				c.m.Name, got, c.pureRows, c.m.PureRowBits())
+		}
+	}
+}
+
+// The headline structural difference of the paper: Alder/Raptor mappings
+// cover every row bit with bank functions.
+func TestAlderRaptorNoPureRowBits(t *testing.T) {
+	for _, m := range []*Mapping{AlderRaptor8G(), AlderRaptor16G(), AlderRaptor32G()} {
+		if bits := m.PureRowBits(); len(bits) != 0 {
+			t.Errorf("%s: unexpected pure row bits %v", m.Name, bits)
+		}
+	}
+}
+
+func TestCometPureRowBitsRange(t *testing.T) {
+	m := CometRocket16G()
+	bits := m.PureRowBits()
+	if len(bits) == 0 {
+		t.Fatal("no pure row bits on Comet Lake mapping")
+	}
+	if bits[0] != 22 || bits[len(bits)-1] != 33 {
+		t.Errorf("pure row bits span %d-%d, want 22-33", bits[0], bits[len(bits)-1])
+	}
+}
+
+func TestPhysAddrRoundTrip(t *testing.T) {
+	for _, m := range All() {
+		for bank := 0; bank < m.Banks(); bank += 3 {
+			for _, row := range []uint64{0, 1, 12345, m.Rows() - 1} {
+				pa, err := m.PhysAddr(bank, row, 64)
+				if err != nil {
+					t.Fatalf("%s: PhysAddr(%d,%d): %v", m.Name, bank, row, err)
+				}
+				if got := m.Bank(pa); got != bank {
+					t.Errorf("%s: Bank(PhysAddr(%d,%d)) = %d", m.Name, bank, row, got)
+				}
+				if got := m.Row(pa); got != row {
+					t.Errorf("%s: Row(PhysAddr(%d,%d)) = %d", m.Name, bank, row, got)
+				}
+				if pa >= m.Size() {
+					t.Errorf("%s: PhysAddr %#x beyond size %#x", m.Name, pa, m.Size())
+				}
+			}
+		}
+	}
+}
+
+func TestPhysAddrErrors(t *testing.T) {
+	m := CometRocket16G()
+	if _, err := m.PhysAddr(-1, 0, 0); err == nil {
+		t.Error("negative bank accepted")
+	}
+	if _, err := m.PhysAddr(m.Banks(), 0, 0); err == nil {
+		t.Error("bank out of range accepted")
+	}
+	if _, err := m.PhysAddr(0, m.Rows(), 0); err == nil {
+		t.Error("row out of range accepted")
+	}
+}
+
+func TestSameBankSameRow(t *testing.T) {
+	m := AlderRaptor16G()
+	a, _ := m.PhysAddr(5, 100, 0)
+	b, _ := m.PhysAddr(5, 200, 0)
+	c, _ := m.PhysAddr(6, 100, 0)
+	if !m.SameBank(a, b) {
+		t.Error("same-bank pair not detected")
+	}
+	if m.SameBank(a, c) {
+		t.Error("different banks reported equal")
+	}
+	if !m.SameRow(a, c) {
+		t.Error("same row index not detected")
+	}
+	if m.SameRow(a, b) {
+		t.Error("different rows reported equal")
+	}
+}
+
+func TestRowMask(t *testing.T) {
+	m := CometRocket16G()
+	mask := m.RowMask()
+	if mask != uint64(0xFFFF)<<18 {
+		t.Errorf("row mask = %#x", mask)
+	}
+}
+
+func TestBankBits(t *testing.T) {
+	m := CometRocket8G()
+	bits := m.BankBits()
+	want := []uint{6, 13, 14, 15, 16, 17, 18, 19}
+	if len(bits) != len(want) {
+		t.Fatalf("bank bits %v", bits)
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Errorf("bank bit %d = %d, want %d", i, bits[i], want[i])
+		}
+	}
+}
+
+func TestEqualAndCanonical(t *testing.T) {
+	a := CometRocket16G()
+	b := CometRocket16G()
+	// Shuffle function order.
+	b.Funcs[0], b.Funcs[3] = b.Funcs[3], b.Funcs[0]
+	if !a.Equal(b) {
+		t.Error("function order should not affect equality")
+	}
+	c := CometRocket16G()
+	c.Funcs[0] = NewBankFunc(17, 22)
+	if a.Equal(c) {
+		t.Error("different function sets reported equal")
+	}
+	d := CometRocket16G()
+	d.RowHi = 34
+	if a.Equal(d) {
+		t.Error("different row ranges reported equal")
+	}
+	if a.Equal(nil) {
+		t.Error("Equal(nil) = true")
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	s := CometRocket16G().String()
+	if !strings.Contains(s, "(6, 13)") || !strings.Contains(s, "Row: 18-33") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestForPlatform(t *testing.T) {
+	for _, c := range []struct {
+		family string
+		size   int
+		ok     bool
+	}{
+		{"comet-rocket", 8, true},
+		{"comet-rocket", 16, true},
+		{"comet-rocket", 32, true},
+		{"alder-raptor", 8, true},
+		{"alder-raptor", 16, true},
+		{"alder-raptor", 32, true},
+		{"comet-rocket", 64, false},
+		{"zen", 16, false},
+	} {
+		if _, ok := ForPlatform(c.family, c.size); ok != c.ok {
+			t.Errorf("ForPlatform(%s, %d) ok = %v, want %v", c.family, c.size, ok, c.ok)
+		}
+	}
+}
+
+// Property: for every known mapping and any (bank, row) in range, the
+// solver produces an address that decodes back exactly.
+func TestPhysAddrRoundTripProperty(t *testing.T) {
+	maps := All()
+	f := func(mi uint8, bankRaw uint16, rowRaw uint32, col uint16) bool {
+		m := maps[int(mi)%len(maps)]
+		bank := int(bankRaw) % m.Banks()
+		row := uint64(rowRaw) % m.Rows()
+		pa, err := m.PhysAddr(bank, row, uint64(col))
+		if err != nil {
+			return false
+		}
+		return m.Bank(pa) == bank && m.Row(pa) == row
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the mapping is linear over GF(2) — XOR-ing any mask into an
+// address changes the bank index by exactly the functions' evaluation of
+// the mask, independent of the base address.
+func TestBankLinearityProperty(t *testing.T) {
+	maps := All()
+	f := func(mi uint8, maskRaw uint64, addrRaw uint32) bool {
+		m := maps[int(mi)%len(maps)]
+		pa := uint64(addrRaw) % m.Size()
+		mask := maskRaw % m.Size()
+		want := 0
+		for i, fn := range m.Funcs {
+			want |= int(fn.Eval(mask)) << i
+		}
+		return m.Bank(pa)^m.Bank(pa^mask) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

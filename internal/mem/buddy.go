@@ -1,0 +1,155 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"rhohammer/internal/stats"
+)
+
+// MaxOrder is the largest buddy order (order 10 = 4 MiB blocks), the
+// largest physically contiguous allocation an unprivileged process can
+// force out of Linux by exhausting the allocator — the contiguity size
+// the paper's end-to-end attack relies on instead of superpages.
+const MaxOrder = 10
+
+// BlockBytes returns the size in bytes of a block of the given order.
+func BlockBytes(order int) uint64 { return PageSize << order }
+
+// Buddy is a simplified Linux-style binary buddy allocator over a
+// physical address range. It supports exactly the operations the
+// Rubicon-style massaging needs: allocate at a given order, free, and
+// observe which physical block an allocation landed on.
+type Buddy struct {
+	physBytes uint64
+	free      [MaxOrder + 1][]uint64 // free lists: block base addresses
+	allocated map[uint64]int         // base -> order
+	rand      *stats.Rand
+}
+
+// NewBuddy builds an allocator over physBytes of memory, fully free,
+// split into MaxOrder blocks.
+func NewBuddy(physBytes uint64, r *stats.Rand) *Buddy {
+	if physBytes%BlockBytes(MaxOrder) != 0 {
+		panic("mem: physical size must be a multiple of the max buddy block")
+	}
+	b := &Buddy{
+		physBytes: physBytes,
+		allocated: make(map[uint64]int),
+		rand:      r,
+	}
+	for base := uint64(0); base < physBytes; base += BlockBytes(MaxOrder) {
+		b.free[MaxOrder] = append(b.free[MaxOrder], base)
+	}
+	// Shuffle the top-order list: physical placement of fresh blocks
+	// is unpredictable to the attacker.
+	r.Shuffle(len(b.free[MaxOrder]), func(i, j int) {
+		b.free[MaxOrder][i], b.free[MaxOrder][j] = b.free[MaxOrder][j], b.free[MaxOrder][i]
+	})
+	return b
+}
+
+// FreePages returns the total number of free 4 KiB pages.
+func (b *Buddy) FreePages() uint64 {
+	var n uint64
+	for order := 0; order <= MaxOrder; order++ {
+		n += uint64(len(b.free[order])) << order
+	}
+	return n
+}
+
+// Alloc returns the base physical address of a block of the given order,
+// or an error if memory is exhausted. Like Linux, it prefers the exact
+// order and splits larger blocks when needed.
+func (b *Buddy) Alloc(order int) (uint64, error) {
+	if order < 0 || order > MaxOrder {
+		return 0, fmt.Errorf("mem: order %d out of range [0,%d]", order, MaxOrder)
+	}
+	o := order
+	for o <= MaxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > MaxOrder {
+		return 0, fmt.Errorf("mem: out of memory at order %d", order)
+	}
+	// Pop from the found order; split down to the requested order.
+	base := b.free[o][len(b.free[o])-1]
+	b.free[o] = b.free[o][:len(b.free[o])-1]
+	for o > order {
+		o--
+		buddy := base + BlockBytes(o)
+		b.free[o] = append(b.free[o], buddy)
+	}
+	b.allocated[base] = order
+	return base, nil
+}
+
+// Free releases a previously allocated block, coalescing with free
+// buddies like the kernel does.
+func (b *Buddy) Free(base uint64) error {
+	order, ok := b.allocated[base]
+	if !ok {
+		return fmt.Errorf("mem: free of unallocated block %#x", base)
+	}
+	delete(b.allocated, base)
+	for order < MaxOrder {
+		buddy := base ^ BlockBytes(order)
+		idx := -1
+		for i, fb := range b.free[order] {
+			if fb == buddy {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		b.free[order] = append(b.free[order][:idx], b.free[order][idx+1:]...)
+		if buddy < base {
+			base = buddy
+		}
+		order++
+	}
+	b.free[order] = append(b.free[order], base)
+	return nil
+}
+
+// DrainToContiguous performs the exhaustion maneuver of the end-to-end
+// attack: allocate everything below the maximum order so subsequent
+// allocations must come from freshly split order-10 blocks, then grab n
+// contiguous 4 MiB regions. It returns their base addresses, ascending.
+func (b *Buddy) DrainToContiguous(n int) ([]uint64, error) {
+	// Exhaust all fragments below max order.
+	for order := 0; order < MaxOrder; order++ {
+		for len(b.free[order]) > 0 {
+			if _, err := b.Alloc(order); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		base, err := b.Alloc(MaxOrder)
+		if err != nil {
+			return out, fmt.Errorf("mem: only %d of %d contiguous regions available: %w", i, n, err)
+		}
+		out = append(out, base)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// AllocAt allocates a specific free block if available — the primitive
+// the massaging step uses after carving a target frame out of a drained
+// region (Rubicon's page-granular placement). Returns false if the block
+// of that order at base is not currently free.
+func (b *Buddy) AllocAt(base uint64, order int) bool {
+	for i, fb := range b.free[order] {
+		if fb == base {
+			b.free[order] = append(b.free[order][:i], b.free[order][i+1:]...)
+			b.allocated[base] = order
+			return true
+		}
+	}
+	return false
+}

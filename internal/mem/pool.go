@@ -1,0 +1,114 @@
+// Package mem models the attacker-visible memory-management surface:
+// a pool of allocated 4 KiB pages with pagemap-style virtual-to-physical
+// translation (root-only, as the paper assumes for the offline RE phase),
+// and a Linux-like buddy allocator used by the end-to-end exploit to
+// obtain physically contiguous 4 MiB regions without superpages.
+package mem
+
+import (
+	"fmt"
+
+	"rhohammer/internal/stats"
+)
+
+// PageSize is the base allocation granularity.
+const PageSize = 4096
+
+// Pool is a set of allocated physical 4 KiB frames covering a fraction
+// of the machine's physical address space, as obtained by a userspace
+// process that allocates aggressively and reads /proc/self/pagemap.
+type Pool struct {
+	// PhysBytes is the size of the physical address space.
+	PhysBytes uint64
+
+	frames   []bool // frame index -> allocated
+	allocIdx []uint64
+	rand     *stats.Rand
+}
+
+// NewPool allocates `share` (0..1] of a physical address space of the
+// given size, choosing frames pseudo-randomly like a fragmented buddy
+// allocator would. The paper's tool allocates 70%.
+func NewPool(physBytes uint64, share float64, r *stats.Rand) *Pool {
+	if physBytes%PageSize != 0 {
+		panic("mem: physical size must be page aligned")
+	}
+	if share <= 0 || share > 1 {
+		panic(fmt.Sprintf("mem: allocation share %v out of (0,1]", share))
+	}
+	n := physBytes / PageSize
+	p := &Pool{
+		PhysBytes: physBytes,
+		frames:    make([]bool, n),
+		rand:      r,
+	}
+	want := uint64(float64(n) * share)
+	// Sample distinct frames via a partial Fisher-Yates shuffle over
+	// the frame index space.
+	perm := make([]uint64, n)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	for i := uint64(0); i < want; i++ {
+		j := i + uint64(r.Int63n(int64(n-i)))
+		perm[i], perm[j] = perm[j], perm[i]
+		p.frames[perm[i]] = true
+		p.allocIdx = append(p.allocIdx, perm[i])
+	}
+	return p
+}
+
+// Pages returns the number of allocated pages.
+func (p *Pool) Pages() int { return len(p.allocIdx) }
+
+// Has reports whether the frame containing physical address pa is
+// allocated to the attacker.
+func (p *Pool) Has(pa uint64) bool {
+	f := pa / PageSize
+	return f < uint64(len(p.frames)) && p.frames[f]
+}
+
+// RandomAddr returns a random allocated, cache-line aligned physical
+// address.
+func (p *Pool) RandomAddr() uint64 {
+	f := p.allocIdx[p.rand.Intn(len(p.allocIdx))]
+	line := uint64(p.rand.Intn(PageSize/64)) * 64
+	return f*PageSize + line
+}
+
+// maxPairTries bounds the search for an allocated address pair; with a
+// 70% pool the expected number of tries is ~2.
+const maxPairTries = 4096
+
+// PairDifferingIn returns a random allocated physical address pair that
+// differs exactly in the bits of mask (all other bits equal). This is
+// the T_SBDR(M, B_diff) selection primitive of Algorithm 1. ok is false
+// if the pool cannot produce such a pair (e.g. mask reaches beyond the
+// populated address space).
+func (p *Pool) PairDifferingIn(mask uint64) (a, b uint64, ok bool) {
+	if mask == 0 || mask >= p.PhysBytes {
+		return 0, 0, false
+	}
+	for try := 0; try < maxPairTries; try++ {
+		a = p.RandomAddr() &^ mask // canonical low form
+		b = a | mask
+		if b >= p.PhysBytes {
+			continue
+		}
+		// Sub-page mask bits never affect frame allocation.
+		if p.Has(a) && p.Has(b) {
+			// Randomize which side is "a" to avoid bias.
+			if p.rand.Intn(2) == 0 {
+				return a, b, true
+			}
+			return b, a, true
+		}
+	}
+	return 0, 0, false
+}
+
+// RandomPair returns two independent random allocated addresses, used by
+// threshold finding and by the DRAMA-style baselines.
+func (p *Pool) RandomPair() (uint64, uint64) {
+	return p.RandomAddr(), p.RandomAddr()
+}

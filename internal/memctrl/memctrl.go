@@ -1,0 +1,243 @@
+// Package memctrl models the CPU's integrated memory controller: DRAM
+// command timing with an open-page policy, per-bank state machines,
+// periodic refresh, and the address translation given by a
+// mapping.Mapping.
+//
+// The controller is the source of the SBDR (same-bank different-row)
+// timing side channel: a row-buffer conflict costs tRP + tRCD + tCL,
+// a row hit only tCL, and accesses to different banks overlap. The
+// reverse-engineering algorithms consume exactly this latency contrast.
+package memctrl
+
+import (
+	"fmt"
+	"math"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+	"rhohammer/internal/mapping"
+)
+
+// AccessKind classifies the DRAM-level behaviour of one access.
+type AccessKind uint8
+
+const (
+	// KindRowHit means the target row was already open in its bank.
+	KindRowHit AccessKind = iota
+	// KindRowEmpty means the bank had no open row (ACT only).
+	KindRowEmpty
+	// KindRowConflict means another row was open (PRE + ACT): the slow
+	// SBDR case.
+	KindRowConflict
+)
+
+// String implements fmt.Stringer.
+func (k AccessKind) String() string {
+	switch k {
+	case KindRowHit:
+		return "row-hit"
+	case KindRowEmpty:
+		return "row-empty"
+	case KindRowConflict:
+		return "row-conflict"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", uint8(k))
+	}
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Accesses  uint64
+	RowHits   uint64
+	RowEmpty  uint64
+	Conflicts uint64
+	Refreshes uint64
+}
+
+// ACTs returns the number of row activations issued.
+func (s Stats) ACTs() uint64 { return s.RowEmpty + s.Conflicts }
+
+// Timings holds the DRAM timing parameters in nanoseconds, derived from
+// the module's transfer rate with standard DDR4 cycle counts.
+type Timings struct {
+	TCL   float64 // CAS latency
+	TRCD  float64 // ACT to CAS
+	TRP   float64 // PRE to ACT
+	TRC   float64 // ACT to ACT, same bank
+	TRFC  float64 // refresh cycle time (all banks busy)
+	TBus  float64 // data burst occupancy
+	TCtrl float64 // fixed controller + on-die overhead per request
+}
+
+// DeriveTimings computes DDR4 timings for a transfer rate in MT/s.
+func DeriveTimings(freqMTs int) Timings {
+	clock := 2000.0 / float64(freqMTs) // ns per DRAM clock
+	return Timings{
+		TCL:   22 * clock,
+		TRCD:  22 * clock,
+		TRP:   22 * clock,
+		TRC:   76 * clock, // tRAS(54) + tRP(22)
+		TRFC:  350,
+		TBus:  4 * clock,
+		TCtrl: 18, // uncore / ring / MC queue constant
+	}
+}
+
+// Controller is one single-channel memory controller fronting a device.
+type Controller struct {
+	Arch *arch.Arch
+	Map  *mapping.Mapping
+	Dev  *dram.Device
+	T    Timings
+
+	// Trace optionally records the issued command stream; arm it with
+	// Trace.Start. Disabled by default (zero overhead beyond a branch).
+	Trace Trace
+
+	openRow  []int64 // -1 = precharged
+	lastACT  []float64
+	busyUnit []float64 // earliest next command per bank
+	nextREF  float64
+
+	stats Stats
+}
+
+// New creates a controller. The mapping's bank count must not exceed the
+// device's; the real systems in the paper always match exactly.
+func New(a *arch.Arch, m *mapping.Mapping, dev *dram.Device) *Controller {
+	if m.Banks() > dev.Banks() {
+		panic(fmt.Sprintf("memctrl: mapping %s addresses %d banks but device has %d",
+			m.Name, m.Banks(), dev.Banks()))
+	}
+	c := &Controller{
+		Arch: a, Map: m, Dev: dev,
+		T:        DeriveTimings(minInt(a.MemFreqMHz, dev.DIMM.FreqMHz)),
+		openRow:  make([]int64, m.Banks()),
+		lastACT:  make([]float64, m.Banks()),
+		busyUnit: make([]float64, m.Banks()),
+		nextREF:  dram.TREFIns,
+	}
+	for i := range c.openRow {
+		c.openRow[i] = -1
+		c.lastACT[i] = math.Inf(-1)
+	}
+	return c
+}
+
+// Stats returns the accumulated controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// NextRefresh returns the time of the next scheduled REF command, the
+// anchor real attacks synchronize their hammer loops to.
+func (c *Controller) NextRefresh() float64 { return c.nextREF }
+
+// advanceRefresh issues every REF due at or before time now. During a
+// REF all banks are blocked for tRFC and all rows are closed.
+func (c *Controller) advanceRefresh(now float64) {
+	for c.nextREF <= now {
+		t := c.nextREF
+		c.Dev.Refresh(t)
+		c.Trace.record(Cmd{Kind: CmdREF, At: t})
+		c.stats.Refreshes++
+		for b := range c.busyUnit {
+			if c.busyUnit[b] < t+c.T.TRFC {
+				c.busyUnit[b] = t + c.T.TRFC
+			}
+			c.openRow[b] = -1
+		}
+		c.nextREF += dram.TREFIns
+	}
+}
+
+// Access services a memory read of the cache line at physical address pa
+// issued at time `at`. It returns the completion time (when the line is
+// available to the core) and the access classification.
+func (c *Controller) Access(pa uint64, at float64) (complete float64, kind AccessKind) {
+	c.advanceRefresh(at)
+	bank := c.Map.Bank(pa)
+	row := int64(c.Map.Row(pa))
+
+	start := at
+	if c.busyUnit[bank] > start {
+		start = c.busyUnit[bank]
+	}
+
+	c.stats.Accesses++
+	switch {
+	case c.openRow[bank] == row:
+		kind = KindRowHit
+		c.stats.RowHits++
+		complete = start + c.T.TCL
+		c.busyUnit[bank] = start + c.T.TBus
+	case c.openRow[bank] == -1:
+		kind = KindRowEmpty
+		c.stats.RowEmpty++
+		actAt := start
+		if tMin := c.lastACT[bank] + c.T.TRC; actAt < tMin {
+			actAt = tMin
+		}
+		c.Trace.record(Cmd{Kind: CmdACT, Bank: bank, Row: uint64(row), At: actAt})
+		c.Dev.Activate(bank, uint64(row), actAt)
+		c.lastACT[bank] = actAt
+		c.openRow[bank] = row
+		complete = actAt + c.T.TRCD + c.T.TCL
+		c.busyUnit[bank] = actAt + c.T.TRCD + c.T.TBus
+	default:
+		kind = KindRowConflict
+		c.stats.Conflicts++
+		preAt := start
+		actAt := preAt + c.T.TRP
+		if tMin := c.lastACT[bank] + c.T.TRC; actAt < tMin {
+			actAt = tMin
+		}
+		c.Trace.record(Cmd{Kind: CmdPRE, Bank: bank, At: preAt})
+		c.Trace.record(Cmd{Kind: CmdACT, Bank: bank, Row: uint64(row), At: actAt})
+		c.Dev.Activate(bank, uint64(row), actAt)
+		c.lastACT[bank] = actAt
+		c.openRow[bank] = row
+		complete = actAt + c.T.TRCD + c.T.TCL
+		c.busyUnit[bank] = actAt + c.T.TRCD + c.T.TBus
+	}
+	return complete + c.T.TCtrl, kind
+}
+
+// Classify reports what kind of access pa would be right now, without
+// issuing it. Used by diagnostics only.
+func (c *Controller) Classify(pa uint64) AccessKind {
+	bank := c.Map.Bank(pa)
+	row := int64(c.Map.Row(pa))
+	switch c.openRow[bank] {
+	case row:
+		return KindRowHit
+	case -1:
+		return KindRowEmpty
+	default:
+		return KindRowConflict
+	}
+}
+
+// CloseAll precharges every bank (e.g. between timing measurements).
+func (c *Controller) CloseAll() {
+	for i := range c.openRow {
+		c.openRow[i] = -1
+	}
+}
+
+// Reset restores the controller to its initial state (banks closed,
+// clocks rewound, statistics cleared). The attached device is untouched.
+func (c *Controller) Reset() {
+	for i := range c.openRow {
+		c.openRow[i] = -1
+		c.lastACT[i] = math.Inf(-1)
+		c.busyUnit[i] = 0
+	}
+	c.nextREF = dram.TREFIns
+	c.stats = Stats{}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

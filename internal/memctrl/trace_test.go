@@ -1,0 +1,113 @@
+package memctrl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rhohammer/internal/dram"
+)
+
+func TestTraceRecordsCommands(t *testing.T) {
+	c := testController()
+	c.Trace.Start(0)
+	a := addr(t, c, 0, 100)
+	b := addr(t, c, 0, 200)
+	c.Access(a, 0) // ACT
+	c.Access(b, 0) // PRE + ACT
+	c.Access(b, 0) // row hit: nothing
+	cmds := c.Trace.Commands()
+	kinds := []CmdKind{}
+	for _, cm := range cmds {
+		kinds = append(kinds, cm.Kind)
+	}
+	want := []CmdKind{CmdACT, CmdPRE, CmdACT}
+	if len(kinds) != len(want) {
+		t.Fatalf("commands %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("cmd %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	counts := c.Trace.RowCounts(0)
+	if counts[100] != 1 || counts[200] != 1 {
+		t.Errorf("row counts %v", counts)
+	}
+}
+
+func TestTraceACTsPerInterval(t *testing.T) {
+	c := testController()
+	c.Trace.Start(0)
+	a := addr(t, c, 0, 100)
+	b := addr(t, c, 0, 200)
+	// Two intervals of alternating conflicts.
+	for i := 0; i < 10; i++ {
+		c.Access(a, float64(i)*700)
+		c.Access(b, float64(i)*700+350)
+	}
+	for i := 0; i < 6; i++ {
+		c.Access(a, dram.TREFIns+float64(i)*700)
+		c.Access(b, dram.TREFIns+float64(i)*700+350)
+	}
+	per := c.Trace.ACTsPerInterval(0)
+	if len(per) < 2 {
+		t.Fatalf("intervals %v", per)
+	}
+	if per[0] < per[1] {
+		t.Errorf("first interval %d should hold more ACTs than second %d", per[0], per[1])
+	}
+	total := 0
+	for _, n := range per {
+		total += n
+	}
+	if total != 32 {
+		t.Errorf("total traced ACTs = %d, want 32", total)
+	}
+}
+
+func TestTraceLimitAndStop(t *testing.T) {
+	c := testController()
+	c.Trace.Start(4)
+	a := addr(t, c, 0, 100)
+	b := addr(t, c, 0, 200)
+	for i := 0; i < 10; i++ {
+		c.Access(a, float64(i)*500)
+		c.Access(b, float64(i)*500+250)
+	}
+	if n := len(c.Trace.Commands()); n != 4 {
+		t.Errorf("trace grew beyond limit: %d", n)
+	}
+	// Drop-new policy: the prefix is preserved.
+	if c.Trace.Commands()[0].At != 0 {
+		t.Errorf("head command displaced: %+v", c.Trace.Commands()[0])
+	}
+	c.Trace.Stop()
+	before := len(c.Trace.Commands())
+	c.Access(a, 1e6)
+	if len(c.Trace.Commands()) != before {
+		t.Error("trace recorded while stopped")
+	}
+}
+
+func TestTraceWriteTo(t *testing.T) {
+	c := testController()
+	c.Trace.Start(0)
+	c.Access(addr(t, c, 2, 123), 0)
+	var buf bytes.Buffer
+	if _, err := c.Trace.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ACT bank=2 row=123") {
+		t.Errorf("dump: %q", buf.String())
+	}
+}
+
+func TestCmdKindString(t *testing.T) {
+	if CmdACT.String() != "ACT" || CmdPRE.String() != "PRE" || CmdREF.String() != "REF" {
+		t.Error("command names")
+	}
+	if CmdKind(9).String() == "" {
+		t.Error("unknown kind")
+	}
+}

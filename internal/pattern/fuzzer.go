@@ -1,0 +1,101 @@
+package pattern
+
+import "rhohammer/internal/stats"
+
+// FuzzParams bounds the random pattern generator. Zero values select the
+// defaults used throughout the evaluation.
+type FuzzParams struct {
+	MinPairs     int // double-sided aggressor pairs, default 3
+	MaxPairs     int // default 8
+	MinDecoys    int // sacrificial high-frequency tuples, default 2
+	MaxDecoys    int // default 3
+	MaxOffset    int // largest aggressor row offset, default 48
+	BaseSlots    int // nominal period length, default 160
+	MaxAmplitude int // default 4
+}
+
+func (p FuzzParams) withDefaults() FuzzParams {
+	if p.MinPairs == 0 {
+		p.MinPairs = 3
+	}
+	if p.MaxPairs == 0 {
+		p.MaxPairs = 8
+	}
+	if p.MinDecoys == 0 {
+		p.MinDecoys = 2
+	}
+	if p.MaxDecoys == 0 {
+		p.MaxDecoys = 3
+	}
+	if p.MaxOffset == 0 {
+		p.MaxOffset = 48
+	}
+	if p.BaseSlots == 0 {
+		p.BaseSlots = 160
+	}
+	if p.MaxAmplitude == 0 {
+		p.MaxAmplitude = 4
+	}
+	return p
+}
+
+// Fuzzer generates pseudo-random unique non-uniform patterns, mirroring
+// the Blacksmith fuzzing loop: every candidate combines a few intense
+// decoy tuples (meant to own the TRR sampler) with double-sided
+// aggressor pairs at lower frequencies, randomizing counts, offsets,
+// frequencies, phases and amplitudes. Whether a particular draw actually
+// bypasses the target's TRR — and survives the platform's speculative
+// disorder — is exactly what the fuzzing campaign measures.
+type Fuzzer struct {
+	Params FuzzParams
+	rand   *stats.Rand
+	nextID uint64
+}
+
+// NewFuzzer creates a fuzzer over the given parameter box.
+func NewFuzzer(p FuzzParams, r *stats.Rand) *Fuzzer {
+	return &Fuzzer{Params: p.withDefaults(), rand: r, nextID: 1000}
+}
+
+// Next generates one fresh random pattern.
+func (f *Fuzzer) Next() *Pattern {
+	p := f.Params
+	r := f.rand
+	f.nextID++
+	pat := &Pattern{
+		ID:    f.nextID,
+		Slots: p.BaseSlots,
+	}
+
+	// Reserve the upper offset range for decoys so they never sit
+	// adjacent to the pairs' victims.
+	decoyBase := p.MaxOffset * 3 / 4
+
+	nDecoys := p.MinDecoys + r.Intn(p.MaxDecoys-p.MinDecoys+1)
+	for i := 0; i < nDecoys; i++ {
+		freq := pat.Slots/8 + r.Intn(pat.Slots/4) // intense: 1/8 .. 3/8 of slots
+		pat.Tuples = append(pat.Tuples, Tuple{
+			Offsets:   []int{decoyBase + i*4 + r.Intn(3)},
+			Freq:      freq,
+			Phase:     r.Intn(4),
+			Amplitude: 1,
+		})
+	}
+
+	nPairs := p.MinPairs + r.Intn(p.MaxPairs-p.MinPairs+1)
+	for i := 0; i < nPairs; i++ {
+		base := r.Intn(decoyBase - 4)
+		freq := 4 + r.Intn(pat.Slots/10)
+		amp := 1
+		if r.Float64() < 0.3 {
+			amp = 2 + r.Intn(p.MaxAmplitude-1)
+		}
+		pat.Tuples = append(pat.Tuples, Tuple{
+			Offsets:   []int{base, base + 2},
+			Freq:      freq,
+			Phase:     r.Intn(pat.Slots / 4),
+			Amplitude: amp,
+		})
+	}
+	return pat
+}

@@ -1,0 +1,70 @@
+package pattern
+
+import "rhohammer/internal/stats"
+
+// Mutation: once fuzzing finds an effective pattern, the Blacksmith-style
+// workflow refines it by replaying mutated variants and keeping
+// improvements. Mutations perturb one dimension at a time — frequency,
+// phase, amplitude, or an offset — so the refined pattern stays in the
+// neighborhood that already bypasses the target's TRR.
+
+// Mutate returns a copy of p with one randomly chosen small perturbation.
+// The result is always valid.
+func Mutate(p *Pattern, r *stats.Rand) *Pattern {
+	out := clone(p)
+	if len(out.Tuples) == 0 {
+		return out
+	}
+	ti := r.Intn(len(out.Tuples))
+	t := &out.Tuples[ti]
+	switch r.Intn(4) {
+	case 0: // frequency step
+		step := 1 + r.Intn(4)
+		if r.Intn(2) == 0 && t.Freq > step {
+			t.Freq -= step
+		} else {
+			t.Freq += step
+		}
+		if t.Freq > out.Slots/2 {
+			t.Freq = out.Slots / 2
+		}
+	case 1: // phase shift
+		t.Phase = (t.Phase + 1 + r.Intn(7)) % out.Slots
+	case 2: // amplitude step
+		if r.Intn(2) == 0 && t.Amplitude > 1 {
+			t.Amplitude--
+		} else if t.Amplitude < 8 {
+			t.Amplitude++
+		}
+	case 3: // slide the tuple's offsets by a small even distance,
+		// preserving the double-sided victim geometry
+		delta := 2 * (1 + r.Intn(2))
+		if r.Intn(2) == 0 {
+			delta = -delta
+		}
+		ok := true
+		for _, o := range t.Offsets {
+			if o+delta < 0 {
+				ok = false
+			}
+		}
+		if ok {
+			for i := range t.Offsets {
+				t.Offsets[i] += delta
+			}
+		}
+	}
+	out.ID = p.ID*31 + uint64(r.Intn(1<<16)) + 1
+	return out
+}
+
+// clone deep-copies a pattern.
+func clone(p *Pattern) *Pattern {
+	out := &Pattern{ID: p.ID, Slots: p.Slots}
+	for _, t := range p.Tuples {
+		nt := t
+		nt.Offsets = append([]int(nil), t.Offsets...)
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out
+}

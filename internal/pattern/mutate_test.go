@@ -1,0 +1,47 @@
+package pattern
+
+import (
+	"testing"
+
+	"rhohammer/internal/stats"
+)
+
+func TestMutateStaysValid(t *testing.T) {
+	r := stats.NewRand(3)
+	p := KnownGood()
+	for i := 0; i < 500; i++ {
+		m := Mutate(p, r)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("mutation %d invalid: %v", i, err)
+		}
+		if m.ID == p.ID {
+			t.Fatal("mutation did not change the ID")
+		}
+		p = m // walk the chain
+	}
+}
+
+func TestMutateDoesNotAliasInput(t *testing.T) {
+	r := stats.NewRand(4)
+	orig := KnownGood()
+	origStr := orig.String()
+	for i := 0; i < 200; i++ {
+		Mutate(orig, r)
+	}
+	if orig.String() != origStr {
+		t.Error("Mutate modified its input")
+	}
+}
+
+func TestMutatePreservesPairGeometry(t *testing.T) {
+	r := stats.NewRand(5)
+	p := KnownGood()
+	for i := 0; i < 300; i++ {
+		p = Mutate(p, r)
+		for _, tp := range p.Tuples {
+			if len(tp.Offsets) == 2 && tp.Offsets[1]-tp.Offsets[0] != 2 {
+				t.Fatalf("pair geometry broken: %v", tp.Offsets)
+			}
+		}
+	}
+}

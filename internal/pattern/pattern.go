@@ -1,0 +1,240 @@
+// Package pattern implements non-uniform (frequency-domain) hammering
+// patterns in the style of Blacksmith/ZenHammer, which ρHammer builds
+// on: an ordered sequence of aggressor rows in which each aggressor
+// tuple appears with its own frequency, phase and amplitude. Patterns
+// that keep decoy tuples' per-refresh-interval activation counts above
+// the true aggressors' counts evade the TRR sampler.
+//
+// A pattern encodes only *relative* row offsets; the hammer package maps
+// it to concrete banks and base rows, and the sweep package re-applies
+// one pattern across many physical locations.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one aggressor group of a pattern. A classic double-sided pair
+// has Offsets [o, o+2] (sandwiching victim o+1); decoy tuples often have
+// a single offset.
+type Tuple struct {
+	// Offsets are row offsets relative to the pattern base, ascending.
+	Offsets []int
+	// Freq is how many times the tuple appears per pattern period.
+	Freq int
+	// Phase is the slot index of the tuple's first appearance.
+	Phase int
+	// Amplitude is how many back-to-back repeats of the tuple occur at
+	// each appearance (a1 a2 a1 a2 ... ).
+	Amplitude int
+}
+
+// Pattern is one complete non-uniform hammering pattern.
+type Pattern struct {
+	ID     uint64
+	Slots  int // nominal period length in accesses
+	Tuples []Tuple
+}
+
+// String gives a compact description for logs and reports.
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pattern %d [%d slots]:", p.ID, p.Slots)
+	for _, t := range p.Tuples {
+		fmt.Fprintf(&sb, " %v f=%d ph=%d a=%d;", t.Offsets, t.Freq, t.Phase, t.Amplitude)
+	}
+	return sb.String()
+}
+
+// MaxOffset returns the largest aggressor row offset used.
+func (p *Pattern) MaxOffset() int {
+	m := 0
+	for _, t := range p.Tuples {
+		for _, o := range t.Offsets {
+			if o > m {
+				m = o
+			}
+		}
+	}
+	return m
+}
+
+// AggressorOffsets returns the sorted distinct row offsets.
+func (p *Pattern) AggressorOffsets() []int {
+	set := map[int]bool{}
+	for _, t := range p.Tuples {
+		for _, o := range t.Offsets {
+			set[o] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VictimOffsets returns the row offsets adjacent to any aggressor — the
+// candidate flip locations the templating step checks.
+func (p *Pattern) VictimOffsets() []int {
+	aggr := map[int]bool{}
+	for _, t := range p.Tuples {
+		for _, o := range t.Offsets {
+			aggr[o] = true
+		}
+	}
+	set := map[int]bool{}
+	for o := range aggr {
+		for _, d := range []int{-2, -1, 1, 2} {
+			if !aggr[o+d] {
+				set[o+d] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Render expands the pattern into its ordered access sequence of row
+// offsets for one period. Each appearance of a tuple is assigned the
+// fractional time position Phase + k*Slots/Freq (k < Freq); appearances
+// from all tuples are then merged in time order, each expanding to
+// Amplitude back-to-back repeats of the tuple's offsets. This keeps the
+// per-tuple access ratios uniform over any sub-window of the period —
+// the property that lets decoys dominate the TRR sampler in *every*
+// refresh interval, wherever the interval boundary lands.
+func (p *Pattern) Render() []int {
+	if p.Slots <= 0 {
+		return nil
+	}
+	type appearance struct {
+		pos   float64
+		order int // stable tie-break: tuple index
+		tuple *Tuple
+	}
+	var apps []appearance
+	for i := range p.Tuples {
+		t := &p.Tuples[i]
+		if t.Freq <= 0 || len(t.Offsets) == 0 {
+			continue
+		}
+		step := float64(p.Slots) / float64(t.Freq)
+		for k := 0; k < t.Freq; k++ {
+			apps = append(apps, appearance{
+				pos:   float64(t.Phase) + float64(k)*step,
+				order: i,
+				tuple: t,
+			})
+		}
+	}
+	sort.SliceStable(apps, func(a, b int) bool {
+		if apps[a].pos != apps[b].pos {
+			return apps[a].pos < apps[b].pos
+		}
+		return apps[a].order < apps[b].order
+	})
+	out := make([]int, 0, p.Slots)
+	for _, a := range apps {
+		amp := a.tuple.Amplitude
+		if amp < 1 {
+			amp = 1
+		}
+		for rep := 0; rep < amp; rep++ {
+			out = append(out, a.tuple.Offsets...)
+		}
+	}
+	return out
+}
+
+// Validate performs sanity checks and returns a descriptive error for
+// malformed patterns (the fuzzer never produces these; the public API
+// accepts user patterns).
+func (p *Pattern) Validate() error {
+	if p.Slots <= 0 {
+		return fmt.Errorf("pattern %d: Slots must be positive, got %d", p.ID, p.Slots)
+	}
+	if len(p.Tuples) == 0 {
+		return fmt.Errorf("pattern %d: no tuples", p.ID)
+	}
+	for i, t := range p.Tuples {
+		if len(t.Offsets) == 0 {
+			return fmt.Errorf("pattern %d: tuple %d has no offsets", p.ID, i)
+		}
+		if t.Freq <= 0 {
+			return fmt.Errorf("pattern %d: tuple %d has non-positive frequency %d", p.ID, i, t.Freq)
+		}
+		if t.Amplitude < 0 {
+			return fmt.Errorf("pattern %d: tuple %d has negative amplitude %d", p.ID, i, t.Amplitude)
+		}
+		for _, o := range t.Offsets {
+			if o < 0 {
+				return fmt.Errorf("pattern %d: tuple %d has negative offset %d", p.ID, i, o)
+			}
+		}
+	}
+	return nil
+}
+
+// DoubleSided returns the classic uniform double-sided pattern (two
+// aggressors sandwiching one victim, hammered back-to-back). TRR defeats
+// it on every DIMM in this repository — it exists as the negative
+// control the paper's background section describes.
+func DoubleSided(slots int) *Pattern {
+	return &Pattern{
+		ID:    1,
+		Slots: slots,
+		Tuples: []Tuple{
+			{Offsets: []int{0, 2}, Freq: slots / 2, Phase: 0, Amplitude: 1},
+		},
+	}
+}
+
+// KnownGood returns a hand-crafted TRR-bypassing non-uniform pattern
+// used by tests and by experiments that need a deterministic "best
+// pattern": hammered pairs protected by higher-count decoy rows that
+// dominate the TRR sampler in every refresh interval. All revisit
+// distances are kept wide so that accesses do not merge in the fill
+// buffers and every access yields a row activation.
+func KnownGood() *Pattern {
+	return &Pattern{
+		ID:    2,
+		Slots: 160,
+		Tuples: []Tuple{
+			// Decoys: highest per-interval activation counts,
+			// sacrificial, spread so they never merge.
+			{Offsets: []int{40}, Freq: 36, Phase: 0, Amplitude: 1},
+			{Offsets: []int{46}, Freq: 36, Phase: 2, Amplitude: 1},
+			// True aggressor pairs: moderate counts, spread phases.
+			{Offsets: []int{0, 2}, Freq: 12, Phase: 1, Amplitude: 1},
+			{Offsets: []int{8, 10}, Freq: 12, Phase: 5, Amplitude: 1},
+			{Offsets: []int{16, 18}, Freq: 12, Phase: 9, Amplitude: 1},
+			{Offsets: []int{24, 26}, Freq: 12, Phase: 13, Amplitude: 1},
+		},
+	}
+}
+
+// KnownGoodTight returns a variant of KnownGood whose true aggressor
+// pairs use back-to-back amplitude repeats — the structure whose order
+// (and flip yield) collapses under deep speculation and is restored by
+// the NOP pseudo-barrier sweep of Fig. 10.
+func KnownGoodTight() *Pattern {
+	return &Pattern{
+		ID:    3,
+		Slots: 160,
+		Tuples: []Tuple{
+			{Offsets: []int{40}, Freq: 36, Phase: 0, Amplitude: 1},
+			{Offsets: []int{46}, Freq: 36, Phase: 2, Amplitude: 1},
+			{Offsets: []int{0, 2}, Freq: 6, Phase: 1, Amplitude: 2},
+			{Offsets: []int{8, 10}, Freq: 6, Phase: 5, Amplitude: 2},
+			{Offsets: []int{16, 18}, Freq: 6, Phase: 9, Amplitude: 2},
+			{Offsets: []int{24, 26}, Freq: 6, Phase: 13, Amplitude: 2},
+		},
+	}
+}

@@ -1,0 +1,253 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rhohammer/internal/stats"
+)
+
+func TestRenderCountsPerTuple(t *testing.T) {
+	p := &Pattern{
+		ID:    1,
+		Slots: 100,
+		Tuples: []Tuple{
+			{Offsets: []int{0, 2}, Freq: 10, Phase: 0, Amplitude: 1},
+			{Offsets: []int{8}, Freq: 20, Phase: 1, Amplitude: 2},
+		},
+	}
+	seq := p.Render()
+	counts := map[int]int{}
+	for _, off := range seq {
+		counts[off]++
+	}
+	if counts[0] != 10 || counts[2] != 10 {
+		t.Errorf("pair counts = %d/%d, want 10/10", counts[0], counts[2])
+	}
+	if counts[8] != 40 { // freq 20 x amplitude 2
+		t.Errorf("decoy count = %d, want 40", counts[8])
+	}
+	if len(seq) != 60 {
+		t.Errorf("sequence length = %d, want 60", len(seq))
+	}
+}
+
+func TestRenderInterleavesUniformly(t *testing.T) {
+	// A high-frequency tuple must appear in every sub-window of the
+	// sequence — the property TRR evasion depends on.
+	p := KnownGood()
+	seq := p.Render()
+	window := len(seq) / 8
+	for w := 0; w+window <= len(seq); w += window {
+		found := false
+		for _, off := range seq[w : w+window] {
+			if off == 40 || off == 46 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("window at %d contains no decoy access", w)
+		}
+	}
+}
+
+func TestRenderAmplitude(t *testing.T) {
+	p := &Pattern{
+		ID:    1,
+		Slots: 20,
+		Tuples: []Tuple{
+			{Offsets: []int{0, 2}, Freq: 2, Phase: 0, Amplitude: 3},
+		},
+	}
+	seq := p.Render()
+	want := []int{0, 2, 0, 2, 0, 2}
+	if len(seq) != 12 {
+		t.Fatalf("sequence %v", seq)
+	}
+	for i := 0; i < 6; i++ {
+		if seq[i] != want[i] {
+			t.Errorf("seq[%d] = %d, want %d (amplitude interleaving)", i, seq[i], want[i])
+		}
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	if (&Pattern{Slots: 0}).Render() != nil {
+		t.Error("zero-slot pattern rendered")
+	}
+	p := &Pattern{Slots: 10, Tuples: []Tuple{{Offsets: nil, Freq: 2}}}
+	if len(p.Render()) != 0 {
+		t.Error("tuple without offsets rendered")
+	}
+	p2 := &Pattern{Slots: 10, Tuples: []Tuple{{Offsets: []int{1}, Freq: 0}}}
+	if len(p2.Render()) != 0 {
+		t.Error("zero-frequency tuple rendered")
+	}
+}
+
+func TestMaxOffsetAndAggressors(t *testing.T) {
+	p := KnownGood()
+	if p.MaxOffset() != 46 {
+		t.Errorf("MaxOffset = %d", p.MaxOffset())
+	}
+	offs := p.AggressorOffsets()
+	want := []int{0, 2, 8, 10, 16, 18, 24, 26, 40, 46}
+	if len(offs) != len(want) {
+		t.Fatalf("aggressors %v", offs)
+	}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Errorf("aggressor %d = %d, want %d", i, offs[i], want[i])
+		}
+	}
+}
+
+func TestVictimOffsets(t *testing.T) {
+	p := &Pattern{Slots: 10, Tuples: []Tuple{{Offsets: []int{4, 6}, Freq: 2, Amplitude: 1}}}
+	victims := p.VictimOffsets()
+	// Aggressors 4 and 6: victims are all neighbors within distance 2
+	// that are not aggressors themselves: 2,3,5,7,8.
+	want := []int{2, 3, 5, 7, 8}
+	if len(victims) != len(want) {
+		t.Fatalf("victims %v, want %v", victims, want)
+	}
+	for i := range want {
+		if victims[i] != want[i] {
+			t.Errorf("victim %d = %d, want %d", i, victims[i], want[i])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := KnownGood().Validate(); err != nil {
+		t.Errorf("KnownGood invalid: %v", err)
+	}
+	if err := KnownGoodTight().Validate(); err != nil {
+		t.Errorf("KnownGoodTight invalid: %v", err)
+	}
+	if err := DoubleSided(64).Validate(); err != nil {
+		t.Errorf("DoubleSided invalid: %v", err)
+	}
+	bad := []*Pattern{
+		{Slots: 0, Tuples: []Tuple{{Offsets: []int{1}, Freq: 1}}},
+		{Slots: 10},
+		{Slots: 10, Tuples: []Tuple{{Freq: 1}}},
+		{Slots: 10, Tuples: []Tuple{{Offsets: []int{1}, Freq: 0}}},
+		{Slots: 10, Tuples: []Tuple{{Offsets: []int{1}, Freq: 1, Amplitude: -1}}},
+		{Slots: 10, Tuples: []Tuple{{Offsets: []int{-3}, Freq: 1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad pattern %d validated", i)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if s := KnownGood().String(); s == "" {
+		t.Error("empty pattern string")
+	}
+}
+
+func TestFuzzerBounds(t *testing.T) {
+	fz := NewFuzzer(FuzzParams{}, stats.NewRand(1))
+	params := fz.Params
+	for i := 0; i < 200; i++ {
+		p := fz.Next()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("fuzzer produced invalid pattern: %v", err)
+		}
+		if p.MaxOffset() > params.MaxOffset+2 {
+			t.Errorf("offset %d beyond box %d", p.MaxOffset(), params.MaxOffset)
+		}
+		nDecoys, nPairs := 0, 0
+		for _, tp := range p.Tuples {
+			if len(tp.Offsets) == 1 {
+				nDecoys++
+			} else {
+				nPairs++
+			}
+		}
+		if nDecoys < params.MinDecoys || nDecoys > params.MaxDecoys {
+			t.Errorf("decoy count %d outside [%d,%d]", nDecoys, params.MinDecoys, params.MaxDecoys)
+		}
+		if nPairs < params.MinPairs || nPairs > params.MaxPairs {
+			t.Errorf("pair count %d outside [%d,%d]", nPairs, params.MinPairs, params.MaxPairs)
+		}
+	}
+}
+
+func TestFuzzerUniqueIDs(t *testing.T) {
+	fz := NewFuzzer(FuzzParams{}, stats.NewRand(2))
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		p := fz.Next()
+		if seen[p.ID] {
+			t.Fatalf("duplicate pattern id %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestFuzzerDeterminism(t *testing.T) {
+	a := NewFuzzer(FuzzParams{}, stats.NewRand(3))
+	b := NewFuzzer(FuzzParams{}, stats.NewRand(3))
+	for i := 0; i < 20; i++ {
+		pa, pb := a.Next(), b.Next()
+		if pa.String() != pb.String() {
+			t.Fatalf("same seed produced different patterns at %d", i)
+		}
+	}
+}
+
+// Property: rendered length equals the sum of freq*amplitude*len(offsets)
+// over tuples, and every rendered offset belongs to some tuple.
+func TestRenderConsistencyProperty(t *testing.T) {
+	fz := NewFuzzer(FuzzParams{}, stats.NewRand(4))
+	f := func(unused uint8) bool {
+		p := fz.Next()
+		want := 0
+		valid := map[int]bool{}
+		for _, tp := range p.Tuples {
+			amp := tp.Amplitude
+			if amp < 1 {
+				amp = 1
+			}
+			want += tp.Freq * amp * len(tp.Offsets)
+			for _, o := range tp.Offsets {
+				valid[o] = true
+			}
+		}
+		seq := p.Render()
+		if len(seq) != want {
+			return false
+		}
+		for _, off := range seq {
+			if !valid[off] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleSidedStructure(t *testing.T) {
+	p := DoubleSided(64)
+	seq := p.Render()
+	if len(seq) != 64 {
+		t.Fatalf("length %d", len(seq))
+	}
+	for i, off := range seq {
+		want := 0
+		if i%2 == 1 {
+			want = 2
+		}
+		if off != want {
+			t.Fatalf("seq[%d] = %d, want alternating 0/2", i, off)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package pattern
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Serialization: effective patterns are the valuable output of a fuzzing
+// campaign — the real tools save them and replay them later on other
+// locations or machines. Patterns marshal to a compact, stable JSON
+// form.
+
+// patternJSON is the wire form of a Pattern.
+type patternJSON struct {
+	ID     uint64      `json:"id"`
+	Slots  int         `json:"slots"`
+	Tuples []tupleJSON `json:"tuples"`
+}
+
+type tupleJSON struct {
+	Offsets   []int `json:"offsets"`
+	Freq      int   `json:"freq"`
+	Phase     int   `json:"phase"`
+	Amplitude int   `json:"amplitude"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Pattern) MarshalJSON() ([]byte, error) {
+	out := patternJSON{ID: p.ID, Slots: p.Slots}
+	for _, t := range p.Tuples {
+		out.Tuples = append(out.Tuples, tupleJSON(t))
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded
+// pattern.
+func (p *Pattern) UnmarshalJSON(data []byte) error {
+	var in patternJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("pattern: %w", err)
+	}
+	decoded := Pattern{ID: in.ID, Slots: in.Slots}
+	for _, t := range in.Tuples {
+		decoded.Tuples = append(decoded.Tuples, Tuple(t))
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*p = decoded
+	return nil
+}
+
+// Encode renders the pattern as indented JSON.
+func (p *Pattern) Encode() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// Decode parses a pattern from JSON produced by Encode (or by hand) and
+// validates it.
+func Decode(data []byte) (*Pattern, error) {
+	var p Pattern
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

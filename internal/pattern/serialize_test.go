@@ -1,0 +1,64 @@
+package pattern
+
+import (
+	"testing"
+
+	"rhohammer/internal/stats"
+)
+
+func TestPatternJSONRoundTrip(t *testing.T) {
+	orig := KnownGood()
+	data, err := orig.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != orig.String() {
+		t.Errorf("round trip changed pattern:\n %s\n %s", orig, back)
+	}
+	// The rendered sequences must be identical.
+	a, b := orig.Render(), back.Render()
+	if len(a) != len(b) {
+		t.Fatal("render lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("render differs at %d", i)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"id":1,"slots":0,"tuples":[{"offsets":[1],"freq":1,"amplitude":1}]}`,
+		`{"id":1,"slots":10,"tuples":[]}`,
+		`{"id":1,"slots":10,"tuples":[{"offsets":[-2],"freq":1,"amplitude":1}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Decode([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFuzzedPatternsRoundTrip(t *testing.T) {
+	fz := NewFuzzer(FuzzParams{}, stats.NewRand(5))
+	for i := 0; i < 50; i++ {
+		p := fz.Next()
+		data, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("pattern %d: %v", i, err)
+		}
+		if back.String() != p.String() {
+			t.Fatalf("pattern %d changed in round trip", i)
+		}
+	}
+}

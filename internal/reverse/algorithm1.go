@@ -1,0 +1,134 @@
+package reverse
+
+import (
+	"fmt"
+
+	"rhohammer/internal/mapping"
+	"rhohammer/internal/mem"
+	"rhohammer/internal/timing"
+)
+
+// Recover runs ρHammer's reverse-engineering pipeline (Algorithm 1):
+//
+//	Step 0  calibrate the SBDR threshold from the latency density;
+//	        classify pure row bits with single-bit measurements
+//	Step 1  Duet: scan bit pairs for SBDR timings — every hit is a
+//	        row-inclusive bank-function pair; the higher bits plus the
+//	        pure row bits yield the full row-bit range
+//	Step 2  Trios: borrow one recovered pair's SBDR state and probe each
+//	        remaining bit; fast timings expose non-row bank bits
+//	Step 3  Quartet: probe pairs of non-row bank bits on top of the
+//	        borrowed SBDR state; slow timings mean same-function pairs
+//	merge   union overlapping pairs into complete bank functions
+//
+// The method is layout-agnostic: it assumes nothing about the number of
+// bank bits, the width of individual functions, or whether pure row bits
+// exist — which is why it is the only method here that survives the
+// Alder/Raptor Lake mappings.
+func Recover(m *timing.Measurer, pool *mem.Pool, opt Options) Result {
+	opt = opt.withDefaults(pool)
+	ms := newMeasurer(m, pool, opt)
+	res := Result{}
+	accessesBefore := m.Accesses()
+	timeBefore := m.Now()
+
+	res.Threshold = ms.calibrate()
+
+	// Step 0b: classify pure row bits. A single-bit difference that
+	// times slow keeps the bank and changes the row: a pure row bit.
+	var pureRow []uint
+	var nonPureRow []uint
+	for b := opt.MinBit; b <= opt.MaxBit; b++ {
+		slow, ok := ms.sbdr(maskOf(b))
+		if !ok {
+			continue
+		}
+		if slow {
+			pureRow = append(pureRow, b)
+		} else {
+			nonPureRow = append(nonPureRow, b)
+		}
+	}
+
+	// Step 1: Duet. An SBDR timing for {bx, by} means bx and by belong
+	// to the same bank function and at least one of them is a row bit.
+	var pairs [][2]uint
+	rowBits := map[uint]bool{}
+	for _, b := range pureRow {
+		rowBits[b] = true
+	}
+	for i := 0; i < len(nonPureRow); i++ {
+		for j := i + 1; j < len(nonPureRow); j++ {
+			bx, by := nonPureRow[i], nonPureRow[j]
+			slow, ok := ms.sbdr(maskOf(bx, by))
+			if !ok || !slow {
+				continue
+			}
+			pairs = append(pairs, [2]uint{bx, by})
+			// collect_higher: the higher bit of a duet is a row bit.
+			if by > bx {
+				rowBits[by] = true
+			} else {
+				rowBits[bx] = true
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		res.Err = fmt.Errorf("reverse: no row-inclusive bank functions found (threshold %.1f ns)", ms.thres)
+		return finish(res, ms, m, accessesBefore, timeBefore, pool)
+	}
+
+	// Step 2: Trios. Borrow the SBDR state of one recovered pair and
+	// probe every remaining non-row bit: a fast timing means the bit
+	// moved the bank — a non-row bank bit.
+	bBF, bBFp := pairs[0][0], pairs[0][1]
+	var nonRowBank []uint
+	for _, bx := range nonPureRow {
+		if rowBits[bx] || bx == bBF || bx == bBFp {
+			continue
+		}
+		slow, ok := ms.sbdr(maskOf(bBF, bBFp, bx))
+		if !ok {
+			continue
+		}
+		if !slow {
+			nonRowBank = append(nonRowBank, bx)
+		}
+	}
+
+	// Step 3: Quartet. Non-row bits that restore the SBDR state in
+	// pairs share a bank function.
+	for i := 0; i < len(nonRowBank); i++ {
+		for j := i + 1; j < len(nonRowBank); j++ {
+			bx, by := nonRowBank[i], nonRowBank[j]
+			slow, ok := ms.sbdr(maskOf(bBF, bBFp, bx, by))
+			if !ok || !slow {
+				continue
+			}
+			pairs = append(pairs, [2]uint{bx, by})
+		}
+	}
+
+	// Merge pairs into complete functions and assemble the mapping.
+	funcs := mergePairs(pairs)
+	lo, hi, err := contiguousRange(rowBits)
+	if err != nil {
+		res.Err = err
+		return finish(res, ms, m, accessesBefore, timeBefore, pool)
+	}
+	res.Mapping = (&mapping.Mapping{
+		Name:  "recovered",
+		Funcs: funcs,
+		RowLo: lo,
+		RowHi: hi,
+	}).Canonical()
+	return finish(res, ms, m, accessesBefore, timeBefore, pool)
+}
+
+// finish fills the bookkeeping fields of a result.
+func finish(res Result, ms *measurer, m *timing.Measurer, accessesBefore uint64, timeBefore float64, pool *mem.Pool) Result {
+	res.Measurements = ms.measurements
+	res.Accesses = m.Accesses() - accessesBefore
+	res.SimTimeNS = (m.Now() - timeBefore) + allocOverheadNS(pool)
+	return res
+}

@@ -1,0 +1,131 @@
+package reverse
+
+import (
+	"fmt"
+
+	"rhohammer/internal/mapping"
+	"rhohammer/internal/mem"
+	"rhohammer/internal/timing"
+)
+
+// Cross-validation, the §3.3 extension: "further expanding the size and
+// combinations of B_diff can provide extra cross-validation". After the
+// Duet/Trios/Quartet recovery completes, this pass re-derives a sample
+// of the algorithm's conclusions with *different* borrowed SBDR states
+// and larger B_diff sets, so a single mis-thresholded measurement cannot
+// silently corrupt the output.
+//
+// Predicates checked, all relative to a borrowed row-inclusive pair
+// (bBF, bBF') taken from a DIFFERENT function than the one under test:
+//
+//   - same-function pairs (x, y) within a recovered function must keep
+//     the borrowed SBDR state slow (B_diff size 4);
+//   - cross-function pairs must break it (the bank moves — fast);
+//   - for functions of three or more bits, flipping any odd-sized
+//     subset must break it and any even-sized subset must keep it
+//     (B_diff sizes 5 and 6).
+
+// Validation summarizes a cross-validation pass.
+type Validation struct {
+	Checks   int
+	Failures int
+}
+
+// OK reports whether every predicate held.
+func (v Validation) OK() bool { return v.Checks > 0 && v.Failures == 0 }
+
+// CrossValidate verifies a recovered mapping against fresh measurements.
+// It must be called with the same measurer/pool used for recovery (or an
+// equivalently calibrated one); the threshold is re-derived internally.
+func CrossValidate(ms *measurer, m *mapping.Mapping) (Validation, error) {
+	var v Validation
+	if len(m.Funcs) < 2 {
+		return v, fmt.Errorf("reverse: cross-validation needs at least two functions")
+	}
+	// Find a borrowed row-inclusive pair for each function under test:
+	// a pair (lo, hi) from a *different* function where hi is a row bit.
+	borrowFor := func(exclude int) ([2]uint, bool) {
+		for i, f := range m.Funcs {
+			if i == exclude {
+				continue
+			}
+			bits := f.Bits()
+			hi := bits[len(bits)-1]
+			lo := bits[0]
+			if hi >= m.RowLo && hi <= m.RowHi && lo != hi {
+				return [2]uint{lo, hi}, true
+			}
+		}
+		return [2]uint{}, false
+	}
+
+	check := func(mask uint64, wantSlow bool) {
+		slow, ok := ms.sbdr(mask)
+		if !ok {
+			return
+		}
+		v.Checks++
+		if slow != wantSlow {
+			v.Failures++
+		}
+	}
+
+	for i, f := range m.Funcs {
+		borrow, ok := borrowFor(i)
+		if !ok {
+			continue
+		}
+		base := maskOf(borrow[0], borrow[1])
+		bits := f.Bits()
+		last := bits[len(bits)-1]
+
+		// Even subsets preserve the borrowed SBDR state. Pair every
+		// bit with the function's last bit so each membership claim is
+		// probed at least once.
+		for _, b := range bits[:len(bits)-1] {
+			check(base|maskOf(b, last), true)
+		}
+		if len(bits) >= 4 {
+			check(base|maskOf(bits[0], bits[1], bits[2], last), true)
+		}
+		// Odd subsets break it.
+		check(base|maskOf(bits[0]), false)
+		if len(bits) >= 3 {
+			check(base|maskOf(bits[0], bits[1], last), false)
+		}
+		// Cross-function pairs break it.
+		for j, g := range m.Funcs {
+			if j == i {
+				continue
+			}
+			gb := g.Bits()
+			check(base^maskOf(bits[0], gb[0]), false)
+			break
+		}
+	}
+	if v.Checks == 0 {
+		return v, fmt.Errorf("reverse: no cross-validation predicates applicable")
+	}
+	return v, nil
+}
+
+// RecoverValidated runs Recover followed by the cross-validation pass,
+// recording the outcome in the result. A validation failure does not
+// discard the mapping — it flags it for re-measurement, mirroring how
+// the real tool would retry.
+func RecoverValidated(m *timing.Measurer, pool *mem.Pool, opt Options) (Result, Validation) {
+	res := Recover(m, pool, opt)
+	if !res.OK() {
+		return res, Validation{}
+	}
+	opt = opt.withDefaults(pool)
+	ms := newMeasurer(m, pool, opt)
+	ms.calibrate()
+	v, err := CrossValidate(ms, res.Mapping)
+	if err != nil {
+		res.Err = err
+		return res, v
+	}
+	res.Measurements += ms.measurements
+	return res, v
+}

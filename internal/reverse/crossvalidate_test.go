@@ -1,0 +1,56 @@
+package reverse
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/mapping"
+)
+
+func TestCrossValidationPasses(t *testing.T) {
+	for _, c := range []struct {
+		a *arch.Arch
+		d *arch.DIMM
+	}{
+		{arch.CometLake(), arch.DIMMS3()},
+		{arch.RaptorLake(), arch.DIMMS1()},
+	} {
+		meas, pool, truth := setup(t, c.a, c.d, 51)
+		res, v := RecoverValidated(meas, pool, Options{})
+		if !res.OK() || !res.Mapping.Equal(truth) {
+			t.Fatalf("%s: recovery failed: %v", c.a.Name, res.Err)
+		}
+		if !v.OK() {
+			t.Errorf("%s: cross-validation %d/%d failures", c.a.Name, v.Failures, v.Checks)
+		}
+		if v.Checks < len(truth.Funcs) {
+			t.Errorf("%s: only %d validation checks for %d functions", c.a.Name, v.Checks, len(truth.Funcs))
+		}
+	}
+}
+
+// A deliberately corrupted mapping must fail cross-validation — the
+// property that makes the pass useful.
+func TestCrossValidationDetectsCorruption(t *testing.T) {
+	meas, pool, truth := setup(t, arch.RaptorLake(), arch.DIMMS1(), 53)
+	opt := Options{}.withDefaults(pool)
+	ms := newMeasurer(meas, pool, opt)
+	ms.calibrate()
+
+	bad := truth.Canonical()
+	// Move one bit of one wide function: (14,18,26,29,32) -> (14,18,26,29,30).
+	funcs := append([]mapping.BankFunc{}, bad.Funcs...)
+	for i, f := range funcs {
+		if uint64(f)&(1<<32) != 0 {
+			funcs[i] = mapping.BankFunc(uint64(f)&^(1<<32) | 1<<30)
+		}
+	}
+	bad.Funcs = funcs
+	v, err := CrossValidate(ms, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Failures == 0 {
+		t.Error("corrupted mapping passed cross-validation")
+	}
+}

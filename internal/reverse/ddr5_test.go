@@ -1,0 +1,34 @@
+package reverse
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+	"rhohammer/internal/mapping"
+	"rhohammer/internal/mem"
+	"rhohammer/internal/memctrl"
+	"rhohammer/internal/stats"
+	"rhohammer/internal/timing"
+)
+
+// The §6 DDR5 observation: Algorithm 1 recovers the function set of the
+// DDR5 mapping (the sub-channel function appears as one more bank
+// function, which is all Rowhammer needs).
+func TestRecoverDDR5Mapping(t *testing.T) {
+	truth := mapping.AlderRaptorDDR5()
+	a := arch.RaptorLake()
+	d := arch.DIMMD1()
+	r := stats.NewRand(41)
+	dev := dram.NewDevice(d, 41)
+	ctrl := memctrl.New(a, truth, dev)
+	meas := timing.NewMeasurer(ctrl, r)
+	pool := mem.NewPool(truth.Size(), 0.7, r)
+	res := Recover(meas, pool, Options{})
+	if !res.OK() {
+		t.Fatalf("DDR5 recovery failed: %v", res.Err)
+	}
+	if !res.Mapping.Equal(truth) {
+		t.Fatalf("DDR5 mapping mismatch:\n got  %s\n want %s", res.Mapping, truth)
+	}
+}

@@ -1,0 +1,125 @@
+package reverse
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+	"rhohammer/internal/mapping"
+	"rhohammer/internal/mem"
+	"rhohammer/internal/memctrl"
+	"rhohammer/internal/stats"
+	"rhohammer/internal/timing"
+)
+
+// Failure injection: the algorithms must degrade gracefully — return an
+// error or a flagged result, never panic and never silently return a
+// wrong mapping that also passes cross-validation.
+
+func noisySetup(t *testing.T, sigma, spikeProb float64, seed int64) (*timing.Measurer, *mem.Pool, *mapping.Mapping) {
+	t.Helper()
+	a := arch.RaptorLake()
+	d := arch.DIMMS3()
+	truth, _ := mapping.ForPlatform(a.MappingFamily, d.SizeGiB)
+	r := stats.NewRand(seed)
+	dev := dram.NewDevice(d, seed)
+	ctrl := memctrl.New(a, truth, dev)
+	meas := timing.NewMeasurer(ctrl, r)
+	meas.NoiseSigmaNS = sigma
+	meas.SpikeProb = spikeProb
+	return meas, mem.NewPool(truth.Size(), 0.7, r), truth
+}
+
+func TestRecoverUnderModerateNoise(t *testing.T) {
+	// 3x the default noise: averaging must still pull through.
+	meas, pool, truth := noisySetup(t, 27, 0.03, 61)
+	res := Recover(meas, pool, Options{})
+	if !res.OK() {
+		t.Fatalf("recovery failed under moderate noise: %v", res.Err)
+	}
+	if !res.Mapping.Equal(truth) {
+		t.Errorf("moderate noise corrupted the mapping:\n got  %s\n want %s", res.Mapping, truth)
+	}
+}
+
+func TestRecoverUnderExtremeNoiseFailsSafely(t *testing.T) {
+	// Noise comparable to the SBDR contrast itself: the run may fail,
+	// but it must fail loudly — either an error or a cross-validation
+	// flag, never a silently wrong result.
+	meas, pool, truth := noisySetup(t, 70, 0.25, 67)
+	res, v := RecoverValidated(meas, pool, Options{})
+	if !res.OK() {
+		return // failed loudly: acceptable
+	}
+	if res.Mapping.Equal(truth) {
+		return // survived: also acceptable
+	}
+	if v.OK() {
+		t.Errorf("wrong mapping passed cross-validation under extreme noise:\n got %s", res.Mapping)
+	}
+}
+
+func TestRecoverFromTinyPoolIsWindowLimited(t *testing.T) {
+	// A pool covering only a sliver of the address space can only see
+	// the mapping's restriction to that window — exactly the hugepage
+	// limitation that cripples DRAMA, and the reason Step 0 allocates
+	// 70% of system memory. The algorithm must not hang or fabricate
+	// full-space structure it cannot observe.
+	a := arch.RaptorLake()
+	d := arch.DIMMS3()
+	truth, _ := mapping.ForPlatform(a.MappingFamily, d.SizeGiB)
+	r := stats.NewRand(71)
+	dev := dram.NewDevice(d, 71)
+	ctrl := memctrl.New(a, truth, dev)
+	meas := timing.NewMeasurer(ctrl, r)
+	pool := mem.NewPool(1<<22, 0.7, r) // 4 MiB window
+	res := Recover(meas, pool, Options{})
+	if !res.OK() {
+		return // refusing outright is acceptable too
+	}
+	if res.Mapping.Equal(truth) {
+		t.Error("full mapping cannot be observable through a 4 MiB window")
+	}
+	if res.Mapping.RowHi >= truth.RowHi {
+		t.Errorf("recovered row range %d-%d exceeds the pool window",
+			res.Mapping.RowLo, res.Mapping.RowHi)
+	}
+	// Within the window, every recovered function must be the
+	// truth's restriction to the visible bits.
+	for _, f := range res.Mapping.Funcs {
+		matched := false
+		for _, tf := range truth.Funcs {
+			if uint64(tf)&(1<<22-1) == uint64(f) {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("recovered function %s is not a window restriction of the truth", f)
+		}
+	}
+}
+
+func TestRecoverWithSparsePool(t *testing.T) {
+	// 30% allocation share: pair finding needs retries but must work.
+	a := arch.CometLake()
+	d := arch.DIMMS3()
+	truth, _ := mapping.ForPlatform(a.MappingFamily, d.SizeGiB)
+	r := stats.NewRand(73)
+	dev := dram.NewDevice(d, 73)
+	ctrl := memctrl.New(a, truth, dev)
+	meas := timing.NewMeasurer(ctrl, r)
+	pool := mem.NewPool(truth.Size(), 0.3, r)
+	res := Recover(meas, pool, Options{})
+	if !res.OK() || !res.Mapping.Equal(truth) {
+		t.Errorf("recovery failed with a 30%% pool: %v", res.Err)
+	}
+}
+
+func TestBaselinesNeverPanicUnderNoise(t *testing.T) {
+	for _, run := range []func(*timing.Measurer, *mem.Pool, Options) Result{
+		RecoverDRAMA, RecoverDRAMDig, RecoverDARE,
+	} {
+		meas, pool, _ := noisySetup(t, 60, 0.2, 79)
+		_ = run(meas, pool, Options{}) // outcome irrelevant; must not panic
+	}
+}

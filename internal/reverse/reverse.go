@@ -1,0 +1,209 @@
+// Package reverse implements DRAM address-mapping reverse-engineering:
+// ρHammer's structured-deduction method (Algorithm 1 of the paper, the
+// Duet/Trios/Quartet pipeline) and re-implementations of the three prior
+// tools it is compared against in Table 5 — DRAMA, DRAMDig and DARE —
+// each with the structural assumption that breaks it on recent
+// platforms.
+//
+// All methods consume only the SBDR timing side channel exposed by
+// timing.Measurer plus the attacker's allocated page pool; none of them
+// peeks at the ground-truth mapping.
+package reverse
+
+import (
+	"fmt"
+
+	"rhohammer/internal/mapping"
+	"rhohammer/internal/mem"
+	"rhohammer/internal/timing"
+)
+
+// Options tunes the measurement effort shared by all methods.
+type Options struct {
+	// Rounds is the number of timing rounds averaged per address pair
+	// (the paper uses 50).
+	Rounds int
+	// PairsPerMeasure is how many random address pairs are averaged
+	// per T_SBDR primitive (the paper uses 16).
+	PairsPerMeasure int
+	// ThresholdSamples is the number of random pairs used to locate
+	// the SBDR threshold (Step 0 / Fig. 3).
+	ThresholdSamples int
+	// MaxBit is the highest physical address bit to consider; 0 means
+	// derive it from the pool size.
+	MaxBit uint
+	// MinBit is the lowest bit considered; bits below the cache-line
+	// boundary never matter. Defaults to 6.
+	MinBit uint
+}
+
+func (o Options) withDefaults(pool *mem.Pool) Options {
+	if o.Rounds == 0 {
+		o.Rounds = 50
+	}
+	if o.PairsPerMeasure == 0 {
+		o.PairsPerMeasure = 16
+	}
+	if o.ThresholdSamples == 0 {
+		o.ThresholdSamples = 1500
+	}
+	if o.MinBit == 0 {
+		o.MinBit = 6
+	}
+	if o.MaxBit == 0 {
+		top := uint(0)
+		for s := pool.PhysBytes; s > 1; s >>= 1 {
+			top++
+		}
+		o.MaxBit = top - 1
+	}
+	return o
+}
+
+// Result is the outcome of one reverse-engineering run.
+type Result struct {
+	// Mapping is the recovered mapping (nil when the method failed).
+	Mapping *mapping.Mapping
+	// Err explains a failure in the method's own terms.
+	Err error
+	// Threshold is the Step-0 calibration actually used.
+	Threshold timing.ThresholdResult
+	// Measurements counts T_SBDR primitives evaluated.
+	Measurements int
+	// Accesses counts DRAM accesses issued.
+	Accesses uint64
+	// SimTimeNS is the simulated wall time of the whole run, including
+	// the allocation phase.
+	SimTimeNS float64
+}
+
+// OK reports whether the run produced a mapping.
+func (r *Result) OK() bool { return r.Mapping != nil && r.Err == nil }
+
+// Seconds returns the simulated runtime in seconds (Table 5 units).
+func (r *Result) Seconds() float64 { return r.SimTimeNS / 1e9 }
+
+// allocOverheadNS models the setup phase every tool pays before
+// measuring: allocating the pool, touching pages, and walking
+// /proc/self/pagemap — roughly 0.30 s per GiB of pool.
+func allocOverheadNS(pool *mem.Pool) float64 {
+	return float64(pool.Pages()) * mem.PageSize * 0.30
+}
+
+// measurer wraps the measurement bookkeeping shared by the methods.
+type measurer struct {
+	m    *timing.Measurer
+	pool *mem.Pool
+	opt  Options
+
+	thres        float64
+	measurements int
+}
+
+func newMeasurer(m *timing.Measurer, pool *mem.Pool, opt Options) *measurer {
+	return &measurer{m: m, pool: pool, opt: opt}
+}
+
+// calibrate runs Step 0 and stores the SBDR threshold.
+func (ms *measurer) calibrate() timing.ThresholdResult {
+	res := ms.m.FindThreshold(ms.pool.RandomPair, ms.opt.ThresholdSamples, 8)
+	ms.thres = res.Threshold
+	return res
+}
+
+// sbdr evaluates the T_SBDR(M, Bdiff) primitive: the average timing of
+// PairsPerMeasure random pairs differing exactly in mask, each timed
+// Rounds times, compared against the calibrated threshold. ok is false
+// when the pool cannot produce pairs for this mask.
+func (ms *measurer) sbdr(mask uint64) (slow, ok bool) {
+	ms.measurements++
+	var sum float64
+	n := 0
+	for i := 0; i < ms.opt.PairsPerMeasure; i++ {
+		a, b, found := ms.pool.PairDifferingIn(mask)
+		if !found {
+			continue
+		}
+		sum += ms.m.TimePair(a, b, ms.opt.Rounds)
+		n++
+	}
+	if n == 0 {
+		return false, false
+	}
+	return sum/float64(n) > ms.thres, true
+}
+
+// maskOf builds a Bdiff mask from bit positions.
+func maskOf(bits ...uint) uint64 {
+	var m uint64
+	for _, b := range bits {
+		m |= 1 << b
+	}
+	return m
+}
+
+// mergePairs unions overlapping bit-pair functions into complete bank
+// functions (e.g. (12,19) and (8,12) merge into (8,12,19)), using a
+// union-find over bit positions.
+func mergePairs(pairs [][2]uint) []mapping.BankFunc {
+	parent := map[uint]uint{}
+	var find func(x uint) uint
+	find = func(x uint) uint {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	union := func(a, b uint) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range pairs {
+		union(p[0], p[1])
+	}
+	groups := map[uint][]uint{}
+	for x := range parent {
+		r := find(x)
+		groups[r] = append(groups[r], x)
+	}
+	var funcs []mapping.BankFunc
+	for _, bits := range groups {
+		funcs = append(funcs, mapping.NewBankFunc(bits...))
+	}
+	return funcs
+}
+
+// contiguousRange validates that a recovered row-bit set is contiguous
+// and returns its bounds.
+func contiguousRange(bits map[uint]bool) (lo, hi uint, err error) {
+	if len(bits) == 0 {
+		return 0, 0, fmt.Errorf("reverse: no row bits recovered")
+	}
+	first := true
+	for b := range bits {
+		if first {
+			lo, hi = b, b
+			first = false
+			continue
+		}
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	for b := lo; b <= hi; b++ {
+		if !bits[b] {
+			return 0, 0, fmt.Errorf("reverse: row bits not contiguous: missing bit %d in [%d,%d]", b, lo, hi)
+		}
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a2 := NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := NewRand(1)
+	n := 20000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		x := Gaussian(r, 10, 3)
+		sum += x
+		ss += x * x
+	}
+	mean := sum / float64(n)
+	variance := ss/float64(n) - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("mean = %.3f, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.1 {
+		t.Errorf("stddev = %.3f, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalPositiveAndMedian(t *testing.T) {
+	r := NewRand(2)
+	n := 20000
+	below := 0
+	for i := 0; i < n; i++ {
+		x := LogNormal(r, 11, 0.25)
+		if x <= 0 {
+			t.Fatalf("log-normal draw %v <= 0", x)
+		}
+		if x < math.Exp(11) {
+			below++
+		}
+	}
+	// The median of a log-normal is exp(mu).
+	frac := float64(below) / float64(n)
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("fraction below exp(mu) = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-9 {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("stddev = %v, want sqrt(2.5)", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty summary N = %d", s.N)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("Percentile(nil) should be NaN")
+	}
+	if Percentile([]float64{7}, 0.9) != 7 {
+		t.Error("single-element percentile")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean([2 4]) != 3")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.Add(5)    // bin 0
+	h.Add(95)   // bin 9
+	h.Add(-10)  // clamps to bin 0
+	h.Add(1000) // clamps to bin 9
+	if h.Total != 4 {
+		t.Errorf("total = %d", h.Total)
+	}
+	if h.Bins[0] != 2 || h.Bins[9] != 2 {
+		t.Errorf("clamping failed: %v", h.Bins)
+	}
+	if h.BinWidth() != 10 {
+		t.Errorf("bin width = %v", h.BinWidth())
+	}
+	if h.BinCenter(0) != 5 {
+		t.Errorf("bin center = %v", h.BinCenter(0))
+	}
+	if h.Density(0) != 0.5 {
+		t.Errorf("density = %v", h.Density(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	assertPanics(t, func() { NewHistogram(0, 10, 0) })
+	assertPanics(t, func() { NewHistogram(10, 10, 5) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestModesTwoClusters(t *testing.T) {
+	h := NewHistogram(0, 400, 100)
+	r := NewRand(3)
+	// Dominant fast cluster at ~64, sparse slow cluster at ~120 — the
+	// Fig. 3 situation.
+	for i := 0; i < 1000; i++ {
+		h.Add(Gaussian(r, 64, 4))
+	}
+	for i := 0; i < 40; i++ {
+		h.Add(Gaussian(r, 120, 4))
+	}
+	lo, hi, ok := h.Modes()
+	if !ok {
+		t.Fatal("modes not found")
+	}
+	if math.Abs(lo-64) > 8 {
+		t.Errorf("fast mode %v, want ~64", lo)
+	}
+	if math.Abs(hi-120) > 8 {
+		t.Errorf("slow mode %v, want ~120", hi)
+	}
+}
+
+func TestModesSingleCluster(t *testing.T) {
+	h := NewHistogram(0, 400, 100)
+	r := NewRand(4)
+	for i := 0; i < 1000; i++ {
+		h.Add(Gaussian(r, 64, 3))
+	}
+	if _, _, ok := h.Modes(); ok {
+		t.Error("found a second mode in unimodal data")
+	}
+}
+
+func TestModesEmpty(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	if _, _, ok := h.Modes(); ok {
+		t.Error("modes on empty histogram")
+	}
+}
+
+func TestValleyBetween(t *testing.T) {
+	h := NewHistogram(0, 100, 20)
+	for i := 0; i < 50; i++ {
+		h.Add(10)
+		h.Add(90)
+	}
+	h.Add(50) // lone middle sample
+	v := h.ValleyBetween(10, 90)
+	if v < 10 || v > 90 {
+		t.Errorf("valley %v outside cluster range", v)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(1)
+	h.Add(1)
+	if h.String() == "" {
+		t.Error("empty rendering for non-empty histogram")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram total equals the number of Add calls and density
+// sums to 1.
+func TestHistogramMassProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(-100, 100, 37)
+		n := 0
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		if h.Total != n {
+			return false
+		}
+		var mass float64
+		for i := range h.Bins {
+			mass += h.Density(i)
+		}
+		return n == 0 || math.Abs(mass-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

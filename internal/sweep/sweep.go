@@ -1,0 +1,112 @@
+// Package sweep implements the sweeping (templating) operation of §4.1
+// and §5.3: re-applying one effective non-uniform pattern at a large set
+// of distinct physical locations to harvest every reachable bit flip.
+// Sweeping is what converts a fuzzing discovery into exploitable
+// templates, and its flip rate (flips per simulated minute) is the
+// paper's headline practicality metric (Fig. 11).
+package sweep
+
+import (
+	"fmt"
+
+	"rhohammer/internal/dram"
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/pattern"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Locations is the number of distinct base rows to hammer.
+	Locations int
+	// DurationPerLocationNS is the simulated hammer time per location;
+	// a fixed time budget keeps strategy comparisons fair (the paper
+	// bounds sweeps by wall clock).
+	DurationPerLocationNS float64
+	// StartRow is the first base row; successive locations advance by
+	// the pattern's footprint so locations never overlap.
+	StartRow uint64
+	// Bank rotates across locations when < 0; otherwise fixed.
+	Bank int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Locations == 0 {
+		o.Locations = 50
+	}
+	if o.DurationPerLocationNS == 0 {
+		o.DurationPerLocationNS = 150e6
+	}
+	if o.StartRow == 0 {
+		o.StartRow = 64
+	}
+	return o
+}
+
+// Point is one location's outcome in the sweep time series.
+type Point struct {
+	Location  int
+	BaseRow   uint64
+	Bank      int
+	Flips     int
+	TimeNS    float64 // simulated time consumed at this location
+	ElapsedNS float64 // cumulative simulated time at completion
+}
+
+// Result aggregates a sweep.
+type Result struct {
+	TotalFlips int
+	// Flips collects every individual flip with its location metadata.
+	Flips []dram.Flip
+	// Series is the per-location time series behind Fig. 11.
+	Series []Point
+	// TimeNS is the total simulated duration.
+	TimeNS float64
+}
+
+// FlipsPerMinute returns the average flip rate over the sweep.
+func (r *Result) FlipsPerMinute() float64 {
+	if r.TimeNS <= 0 {
+		return 0
+	}
+	return float64(r.TotalFlips) / (r.TimeNS / 6e10)
+}
+
+// Run sweeps the pattern under cfg across opt.Locations distinct
+// non-overlapping physical locations of the session's DIMM, resetting
+// victim memory between locations like the real templating loop does.
+func Run(s *hammer.Session, pat *pattern.Pattern, cfg hammer.Config, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if err := pat.Validate(); err != nil {
+		return Result{}, err
+	}
+	span := uint64(pat.MaxOffset() + 8)
+	rows := s.Map.Rows()
+	if opt.StartRow+span >= rows {
+		return Result{}, fmt.Errorf("sweep: start row %d out of range", opt.StartRow)
+	}
+	var res Result
+	row := opt.StartRow
+	for loc := 0; loc < opt.Locations; loc++ {
+		if row+span+4 >= rows {
+			row = opt.StartRow // wrap to the start; banks rotate below
+		}
+		bank := opt.Bank
+		if bank < 0 {
+			bank = loc % s.Map.Banks()
+		}
+		s.ResetDevice()
+		hr, err := s.HammerPatternFor(pat, cfg, bank, row, opt.DurationPerLocationNS)
+		if err != nil {
+			return res, fmt.Errorf("sweep: location %d: %w", loc, err)
+		}
+		res.TotalFlips += hr.FlipCount()
+		res.Flips = append(res.Flips, hr.Flips...)
+		res.TimeNS += hr.TimeNS
+		res.Series = append(res.Series, Point{
+			Location: loc, BaseRow: row, Bank: bank,
+			Flips: hr.FlipCount(), TimeNS: hr.TimeNS, ElapsedNS: res.TimeNS,
+		})
+		row += span
+	}
+	return res, nil
+}

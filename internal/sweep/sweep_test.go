@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/pattern"
+)
+
+func session(t *testing.T) *hammer.Session {
+	t.Helper()
+	s, err := hammer.NewSession(arch.CometLake(), arch.DIMMS4(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSweepSeries(t *testing.T) {
+	s := session(t)
+	res, err := Run(s, pattern.KnownGood(), hammer.Baseline(), Options{
+		Locations: 6, DurationPerLocationNS: 100e6, Bank: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 {
+		t.Fatalf("series length %d", len(res.Series))
+	}
+	total := 0
+	var elapsed float64
+	rows := map[uint64]bool{}
+	for i, p := range res.Series {
+		total += p.Flips
+		elapsed += p.TimeNS
+		if p.ElapsedNS != elapsed {
+			t.Errorf("point %d cumulative time inconsistent", i)
+		}
+		if rows[p.BaseRow] && p.Bank == res.Series[0].Bank {
+			t.Errorf("location %d reuses base row %d in same bank", i, p.BaseRow)
+		}
+		rows[p.BaseRow] = true
+	}
+	if total != res.TotalFlips {
+		t.Errorf("series total %d != %d", total, res.TotalFlips)
+	}
+	if len(res.Flips) != res.TotalFlips {
+		t.Errorf("flip records %d != total %d", len(res.Flips), res.TotalFlips)
+	}
+	if res.TimeNS != elapsed {
+		t.Error("total time inconsistent")
+	}
+}
+
+func TestSweepBankRotation(t *testing.T) {
+	s := session(t)
+	res, err := Run(s, pattern.KnownGood(), hammer.Baseline(), Options{
+		Locations: 4, DurationPerLocationNS: 40e6, Bank: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Series {
+		if p.Bank != i%s.Map.Banks() {
+			t.Errorf("location %d bank %d, want rotation", i, p.Bank)
+		}
+	}
+	res2, err := Run(s, pattern.KnownGood(), hammer.Baseline(), Options{
+		Locations: 3, DurationPerLocationNS: 40e6, Bank: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res2.Series {
+		if p.Bank != 5 {
+			t.Errorf("fixed bank ignored: %d", p.Bank)
+		}
+	}
+}
+
+func TestSweepFlipRate(t *testing.T) {
+	r := Result{TotalFlips: 120, TimeNS: 6e10} // one simulated minute
+	if r.FlipsPerMinute() != 120 {
+		t.Errorf("flips/min = %v", r.FlipsPerMinute())
+	}
+	if (&Result{}).FlipsPerMinute() != 0 {
+		t.Error("empty rate")
+	}
+}
+
+func TestSweepValidatesInput(t *testing.T) {
+	s := session(t)
+	if _, err := Run(s, &pattern.Pattern{Slots: 0}, hammer.Baseline(), Options{}); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+	if _, err := Run(s, pattern.KnownGood(), hammer.Baseline(), Options{StartRow: 1 << 62}); err == nil {
+		t.Error("out-of-range start row accepted")
+	}
+}
+
+func TestSweepWrapsAtEndOfBank(t *testing.T) {
+	s := session(t)
+	rows := s.Map.Rows()
+	_, err := Run(s, pattern.KnownGood(), hammer.Baseline(), Options{
+		Locations: 3, DurationPerLocationNS: 20e6,
+		StartRow: rows - 200, Bank: -1,
+	})
+	if err != nil {
+		t.Fatalf("sweep did not wrap: %v", err)
+	}
+}
+
+// ρHammer's sweep rate must beat the baseline's on the same platform —
+// the Fig. 11 comparison in miniature.
+func TestSweepRhoBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparative sweep")
+	}
+	opt := Options{Locations: 5, DurationPerLocationNS: 150e6, Bank: -1}
+	s1 := session(t)
+	bl, err := Run(s1, pattern.KnownGood(), hammer.Baseline(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := session(t)
+	rho, err := Run(s2, pattern.KnownGood(), hammer.RhoHammer(s2.Arch, 3, 70), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho.TotalFlips <= bl.TotalFlips {
+		t.Errorf("rho flips %d <= baseline %d", rho.TotalFlips, bl.TotalFlips)
+	}
+	if rho.FlipsPerMinute() <= bl.FlipsPerMinute() {
+		t.Errorf("rho rate %.0f <= baseline %.0f", rho.FlipsPerMinute(), bl.FlipsPerMinute())
+	}
+}

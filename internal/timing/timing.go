@@ -1,0 +1,145 @@
+// Package timing implements the timing side-channel measurement layer
+// used by the reverse-engineering algorithms: the pairwise T_SBDR
+// primitive (flush both addresses, access them back-to-back, time the
+// round trip with RDTSCP-equivalent resolution) and the probability-
+// distribution threshold finder of Figure 3.
+package timing
+
+import (
+	"rhohammer/internal/memctrl"
+	"rhohammer/internal/stats"
+)
+
+// Measurer performs noisy latency measurements against one controller.
+type Measurer struct {
+	Ctrl *memctrl.Controller
+	Rand *stats.Rand
+
+	// NoiseSigmaNS is the standard deviation of the measurement noise
+	// added per access pair (timer jitter, interconnect contention).
+	NoiseSigmaNS float64
+
+	// SpikeProb and SpikeMeanNS model heavy-tailed latency outliers
+	// (timer interrupts, SMM, page walks): each timing round suffers
+	// an exponential spike with this probability. Averaging over many
+	// rounds suppresses them; thrifty tools like DARE do not.
+	SpikeProb   float64
+	SpikeMeanNS float64
+
+	// now is the measurer's private notion of time; it advances with
+	// every access so that refresh machinery keeps running.
+	now float64
+
+	accesses uint64
+}
+
+// NewMeasurer returns a measurer with realistic default noise.
+func NewMeasurer(ctrl *memctrl.Controller, r *stats.Rand) *Measurer {
+	return &Measurer{Ctrl: ctrl, Rand: r, NoiseSigmaNS: 9, SpikeProb: 0.01, SpikeMeanNS: 120}
+}
+
+// Accesses reports how many DRAM accesses have been issued for
+// measurement purposes — the basis for the simulated runtimes in
+// Table 5.
+func (m *Measurer) Accesses() uint64 { return m.accesses }
+
+// Now returns the measurer's current simulated time in nanoseconds.
+func (m *Measurer) Now() float64 { return m.now }
+
+// TimePairOnce flushes and accesses the two physical addresses
+// back-to-back and returns the measured latency of the pair in
+// nanoseconds, including noise. The pattern matches the classic row-
+// conflict probe: access a, then b, uncached, in program order.
+func (m *Measurer) TimePairOnce(a, b uint64) float64 {
+	// Ensure both lines come from DRAM (clflush in the real tool).
+	start := m.now
+	ca, _ := m.Ctrl.Access(a, m.now)
+	m.now = ca
+	cb, _ := m.Ctrl.Access(b, m.now)
+	m.now = cb + 30 // post-measurement serialization (cpuid+rdtscp)
+	m.accesses += 2
+	lat := cb - start
+	if m.NoiseSigmaNS > 0 {
+		lat += stats.Gaussian(m.Rand, 0, m.NoiseSigmaNS)
+	}
+	if m.SpikeProb > 0 && m.Rand.Float64() < m.SpikeProb {
+		lat += m.Rand.ExpFloat64() * m.SpikeMeanNS
+	}
+	return lat
+}
+
+// outlierCapNS rejects rounds polluted by refresh blocking (tRFC adds
+// ~350 ns) or interrupt spikes; every real tool filters these with
+// min/median statistics.
+const outlierCapNS = 240
+
+// TimePair measures a pair `rounds` times and returns the trimmed mean
+// latency: rounds above outlierCapNS are discarded unless everything is.
+// The paper uses 50 rounds per pair.
+func (m *Measurer) TimePair(a, b uint64, rounds int) float64 {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	var sum, sumAll float64
+	kept := 0
+	for i := 0; i < rounds; i++ {
+		v := m.TimePairOnce(a, b)
+		sumAll += v
+		if v <= outlierCapNS {
+			sum += v
+			kept++
+		}
+	}
+	if kept == 0 {
+		return sumAll / float64(rounds)
+	}
+	return sum / float64(kept)
+}
+
+// ThresholdResult carries the output of the Figure 3 threshold finder.
+type ThresholdResult struct {
+	Threshold float64          // latency separating SBDR from non-SBDR
+	FastMode  float64          // center of the fast (non-conflict) cluster
+	SlowMode  float64          // center of the slow (row-conflict) cluster
+	SBDRShare float64          // fraction of sampled pairs above threshold
+	Hist      *stats.Histogram // full latency density
+}
+
+// FindThreshold implements Step 0 of Algorithm 1: sample random address
+// pairs from the pool, build the latency density, locate the two
+// assembly areas, and place the threshold in the valley between them.
+//
+// pairs is a generator returning a random physical address pair on each
+// call; samples is the number of pairs to time (each timed `rounds`
+// times).
+func (m *Measurer) FindThreshold(pairs func() (uint64, uint64), samples, rounds int) ThresholdResult {
+	hist := stats.NewHistogram(0, 400, 100)
+	lat := make([]float64, 0, samples)
+	for i := 0; i < samples; i++ {
+		a, b := pairs()
+		v := m.TimePair(a, b, rounds)
+		hist.Add(v)
+		lat = append(lat, v)
+	}
+	lo, hi, ok := hist.Modes()
+	res := ThresholdResult{FastMode: lo, SlowMode: hi, Hist: hist}
+	if !ok {
+		// Degenerate distribution (e.g. a pool confined to one bank):
+		// fall back to a high percentile cut.
+		s := stats.Summarize(lat)
+		res.Threshold = (s.P50 + s.Max) / 2
+		return res
+	}
+	// The two assembly areas are tight around their means (each T_SBDR
+	// primitive averages many rounds), so the midpoint separates them
+	// robustly even when the valley bins are sparsely populated.
+	res.Threshold = (lo + hi) / 2
+	above := 0
+	for _, v := range lat {
+		if v > res.Threshold {
+			above++
+		}
+	}
+	res.SBDRShare = float64(above) / float64(len(lat))
+	return res
+}

@@ -1,0 +1,122 @@
+package timing
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+	"rhohammer/internal/mapping"
+	"rhohammer/internal/mem"
+	"rhohammer/internal/memctrl"
+	"rhohammer/internal/stats"
+)
+
+func testMeasurer(seed int64) (*Measurer, *mem.Pool, *mapping.Mapping) {
+	a := arch.CometLake()
+	d := arch.DIMMS3()
+	m, _ := mapping.ForPlatform(a.MappingFamily, d.SizeGiB)
+	r := stats.NewRand(seed)
+	ctrl := memctrl.New(a, m, dram.NewDevice(d, seed))
+	return NewMeasurer(ctrl, r), mem.NewPool(m.Size(), 0.7, r), m
+}
+
+func TestSBDRPairsSlower(t *testing.T) {
+	meas, _, m := testMeasurer(1)
+	a1, _ := m.PhysAddr(2, 100, 0)
+	a2, _ := m.PhysAddr(2, 5000, 0) // same bank, different row
+	b1, _ := m.PhysAddr(3, 100, 0)
+	b2, _ := m.PhysAddr(4, 5000, 0) // different banks
+
+	sbdr := meas.TimePair(a1, a2, 50)
+	db := meas.TimePair(b1, b2, 50)
+	if sbdr <= db+15 {
+		t.Errorf("SBDR pair %.1f should clearly exceed DB pair %.1f", sbdr, db)
+	}
+}
+
+func TestSameRowPairsFast(t *testing.T) {
+	meas, _, m := testMeasurer(2)
+	a1, _ := m.PhysAddr(2, 100, 0)
+	a2, _ := m.PhysAddr(2, 100, 256) // same bank, same row
+	sr := meas.TimePair(a1, a2, 50)
+	b1, _ := m.PhysAddr(2, 100, 0)
+	b2, _ := m.PhysAddr(2, 7000, 0)
+	sbdr := meas.TimePair(b1, b2, 50)
+	if sr >= sbdr-15 {
+		t.Errorf("same-row pair %.1f should be much faster than SBDR %.1f", sr, sbdr)
+	}
+}
+
+func TestTrimmedMeanRejectsSpikes(t *testing.T) {
+	meas, _, m := testMeasurer(3)
+	meas.SpikeProb = 0.5 // extreme interrupt pollution
+	meas.SpikeMeanNS = 500
+	b1, _ := m.PhysAddr(3, 100, 0)
+	b2, _ := m.PhysAddr(4, 5000, 0)
+	lat := meas.TimePair(b1, b2, 50)
+	if lat > 150 {
+		t.Errorf("trimmed mean %.1f polluted by spikes", lat)
+	}
+}
+
+func TestMeasurementAccounting(t *testing.T) {
+	meas, _, m := testMeasurer(4)
+	before := meas.Accesses()
+	t0 := meas.Now()
+	a1, _ := m.PhysAddr(2, 100, 0)
+	a2, _ := m.PhysAddr(2, 5000, 0)
+	meas.TimePair(a1, a2, 10)
+	if meas.Accesses()-before != 20 {
+		t.Errorf("accesses delta = %d, want 20", meas.Accesses()-before)
+	}
+	if meas.Now() <= t0 {
+		t.Error("measurement did not advance time")
+	}
+}
+
+func TestFindThreshold(t *testing.T) {
+	meas, pool, _ := testMeasurer(5)
+	res := meas.FindThreshold(pool.RandomPair, 1200, 8)
+	if res.FastMode <= 0 || res.SlowMode <= res.FastMode {
+		t.Fatalf("modes: fast %.1f slow %.1f", res.FastMode, res.SlowMode)
+	}
+	if res.Threshold <= res.FastMode || res.Threshold >= res.SlowMode {
+		t.Errorf("threshold %.1f not between modes (%.1f, %.1f)",
+			res.Threshold, res.FastMode, res.SlowMode)
+	}
+	// Random pairs hit the same bank with probability ~1/(banks), so
+	// the SBDR share should be small but positive.
+	if res.SBDRShare <= 0 || res.SBDRShare > 0.2 {
+		t.Errorf("SBDR share = %.3f, want small positive", res.SBDRShare)
+	}
+	if res.Hist == nil || res.Hist.Total != 1200 {
+		t.Error("histogram not populated")
+	}
+}
+
+// The derived threshold must correctly separate known pair classes.
+func TestThresholdSeparatesClasses(t *testing.T) {
+	meas, pool, m := testMeasurer(6)
+	res := meas.FindThreshold(pool.RandomPair, 1200, 8)
+	for i := uint64(0); i < 20; i++ {
+		sb1, _ := m.PhysAddr(int(i%32), 100+i, 0)
+		sb2, _ := m.PhysAddr(int(i%32), 9000+i, 0)
+		if lat := meas.TimePair(sb1, sb2, 16); lat <= res.Threshold {
+			t.Errorf("SBDR pair %d measured %.1f below threshold %.1f", i, lat, res.Threshold)
+		}
+		db1, _ := m.PhysAddr(int(i%32), 100+i, 0)
+		db2, _ := m.PhysAddr(int((i+1)%32), 9000+i, 0)
+		if lat := meas.TimePair(db1, db2, 16); lat > res.Threshold {
+			t.Errorf("DB pair %d measured %.1f above threshold %.1f", i, lat, res.Threshold)
+		}
+	}
+}
+
+func TestTimePairZeroRounds(t *testing.T) {
+	meas, _, m := testMeasurer(7)
+	a1, _ := m.PhysAddr(2, 100, 0)
+	a2, _ := m.PhysAddr(2, 5000, 0)
+	if lat := meas.TimePair(a1, a2, 0); lat <= 0 {
+		t.Errorf("zero rounds should clamp to one: %.1f", lat)
+	}
+}
