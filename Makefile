@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector runs on the one package that spawns goroutines (the
+# parMap experiment fan-out); -short skips the multi-minute campaign
+# tests so the check stays under ~2 minutes.
+race:
+	$(GO) test -race -short ./internal/experiments
+
+verify: build vet test race
+
+# bench regenerates the machine-readable benchmark snapshot
+# (BENCH_<date>.json); see cmd/bench for flags.
+bench:
+	$(GO) run ./cmd/bench

@@ -1,0 +1,199 @@
+// Command bench runs the repository benchmark suite and emits a
+// machine-readable snapshot (BENCH_<date>.json) so performance can be
+// tracked as a trajectory across commits rather than eyeballed from
+// scrollback.
+//
+// Usage:
+//
+//	go run ./cmd/bench                     # full suite
+//	go run ./cmd/bench -bench Hammer -benchtime 20x
+//	go run ./cmd/bench -out custom.json
+//
+// The campaign-sized experiment benchmarks run once each (-benchtime),
+// then the hot-path micro-benchmarks (-micro) are re-measured at
+// -micro-benchtime, where one iteration would be warmup-dominated, and
+// the results merged. Set -micro-benchtime 0x to skip the second pass.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics carries custom b.ReportMetric units (e.g. "ACTs/op").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// ACTsPerSec is derived from the ACTs/op metric and ns/op; zero when
+	// the benchmark does not report activations.
+	ACTsPerSec float64 `json:"acts_per_sec,omitempty"`
+	// Benchtime records which pass measured this entry.
+	Benchtime string `json:"benchtime"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchtime  string      `json:"benchtime"`
+	Bench      string      `json:"bench"`
+	WallTime   string      `json:"wall_time"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	benchRe := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime for the full-suite pass")
+	microRe := flag.String("micro",
+		"BenchmarkHammerThroughput|BenchmarkHammerPatternSteadyState|BenchmarkActivate|BenchmarkMappingRecovery",
+		"micro-benchmark regexp for the second pass")
+	microBenchtime := flag.String("micro-benchtime", "2s",
+		"go test -benchtime for the micro pass (0x skips it)")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	start := time.Now()
+	benches, err := runPass(*benchRe, *benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	if *microBenchtime != "0x" && *microRe != "" {
+		micro, err := runPass(*microRe, *microBenchtime)
+		if err != nil {
+			fatal(err)
+		}
+		byName := make(map[string]int, len(benches))
+		for i, b := range benches {
+			byName[b.Name] = i
+		}
+		for _, m := range micro {
+			if i, ok := byName[m.Name]; ok {
+				benches[i] = m
+			} else {
+				benches = append(benches, m)
+			}
+		}
+	}
+
+	rep := Report{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchtime:  *benchtime,
+		Bench:      *benchRe,
+		WallTime:   time.Since(start).Round(time.Second).String(),
+		Benchmarks: benches,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(benches))
+}
+
+// runPass executes one `go test -bench` invocation and parses its
+// benchmark lines, echoing output so the run is observable.
+func runPass(benchRe, benchtime string) ([]Benchmark, error) {
+	cmd := exec.Command("go", "test", "-run", "NONE",
+		"-bench", benchRe, "-benchmem", "-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var benches []Benchmark
+	sc := bufio.NewScanner(outPipe)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if b, ok := parseLine(line); ok {
+			b.Benchtime = benchtime
+			benches = append(benches, b)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go test -bench %q failed: %w", benchRe, err)
+	}
+	return benches, nil
+}
+
+// parseLine decodes one benchmark result line of the form
+//
+//	BenchmarkName-8  20  53147975 ns/op  777797 ACTs/op  1331342 B/op  15477 allocs/op
+//
+// returning ok=false for non-benchmark output.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -GOMAXPROCS suffix; the report records GOARCH anyway.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	if acts, ok := b.Metrics["ACTs/op"]; ok && b.NsPerOp > 0 {
+		b.ACTsPerSec = acts / (b.NsPerOp * 1e-9)
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"rhohammer/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.Config{Seed: 42, Scale: 0.5}
+	for _, e := range []struct {
+		name string
+		run  func(experiments.Config) experiments.Renderer
+	}{
+		{"Table3", func(c experiments.Config) experiments.Renderer { return experiments.Table3(c) }},
+		{"Table6", func(c experiments.Config) experiments.Renderer { return experiments.Table6(c) }},
+		{"Fig9", func(c experiments.Config) experiments.Renderer { return experiments.Fig9(c) }},
+	} {
+		t0 := time.Now()
+		r := e.run(cfg)
+		var buf bytes.Buffer
+		r.Render(&buf)
+		fmt.Printf("%s: sha256=%x wall=%s bytes=%d\n", e.name, sha256.Sum256(buf.Bytes()), time.Since(t0).Round(time.Millisecond), buf.Len())
+	}
+}

@@ -119,6 +119,11 @@ type Op struct {
 	Line int32 // index into the program's line table
 	N    int32 // NOP repeat count (OpNop only)
 	Hint Hint  // prefetch hint (OpPrefetch only)
+
+	// robUops memoizes the NOP ROB-share conversion (a pure function of
+	// N, always >= 1); 0 means not yet computed. Filled on first
+	// execution so program builders don't need to know about it.
+	robUops int32
 }
 
 // Program is the per-iteration body of a hammering loop plus the line
@@ -257,10 +262,15 @@ func (e *Engine) Run(p *Program, iterations int, cfg Config) Result {
 	if len(p.Lines) == 0 || len(p.Ops) == 0 {
 		return Result{StartTime: e.now, EndTime: e.now}
 	}
-	e.lines = make([]lineState, len(p.Lines))
+	// Reuse the line-state scratch across runs: HammerPatternFor calls
+	// Run once per chunk, and the steady state must not allocate.
+	if cap(e.lines) >= len(p.Lines) {
+		e.lines = e.lines[:len(p.Lines)]
+	} else {
+		e.lines = make([]lineState, len(p.Lines))
+	}
 	for i := range e.lines {
-		e.lines[i].flushEff = -1
-		e.lines[i].flushUop = -1
+		e.lines[i] = lineState{flushEff: -1, flushUop: -1}
 	}
 	e.fills.reset()
 	e.loads.reset()
@@ -301,11 +311,14 @@ func (e *Engine) Run(p *Program, iterations int, cfg Config) Result {
 					ls.flushUop = e.uop
 				}
 			case OpNop:
-				robUops := int64(float64(op.N)*nopRobShare + 0.5)
-				if robUops < 1 {
-					robUops = 1
+				if op.robUops == 0 {
+					r := int32(float64(op.N)*nopRobShare + 0.5)
+					if r < 1 {
+						r = 1
+					}
+					op.robUops = r
 				}
-				e.uop += robUops
+				e.uop += int64(op.robUops)
 				e.now += float64(op.N) * e.Arch.NopCostNS
 			case OpLFence:
 				e.uop++

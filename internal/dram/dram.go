@@ -8,11 +8,19 @@
 // excludes RowPress and column addressing): an activation is the unit of
 // disturbance, and a bit flip is a (bank, row, byte, bit, direction)
 // tuple.
+//
+// Hot-path layout: a hammering campaign revisits the same ~dozen
+// aggressor rows tens of millions of times, so the per-activation path is
+// organized around a direct-mapped (bank,row)→state cache backed by the
+// lazy per-bank maps, and all per-REF bookkeeping (TRR sampling, pTRR
+// counting) is batched so refresh boundaries — not individual
+// activations — pay the aggregation costs.
 package dram
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"rhohammer/internal/arch"
@@ -70,14 +78,32 @@ type weakCell struct {
 }
 
 // rowState tracks the RowHammer-relevant state of one row that has seen
-// neighbor activity. Rows are materialized lazily; an idle device uses no
-// per-row memory.
+// neighbor activity or been activated itself. Rows are materialized
+// lazily; an idle device uses no per-row memory.
 type rowState struct {
-	disturbance  float64 // accumulated neighbor activations this window
-	minThresh    float64 // cheapest threshold among unflipped weak cells
-	epoch        uint64  // refresh epoch at the last disturbance update
-	materialized bool    // weak-cell population drawn
-	cells        []weakCell
+	disturbance float64 // accumulated neighbor activations this window
+	minThresh   float64 // cheapest threshold among unflipped weak cells
+	// gate is the disturbance level at which the slow path must run:
+	// materializeFloor while the weak-cell population is undrawn,
+	// minThresh afterwards. A single comparison against it keeps the
+	// steady-state disturb fast path inlineable.
+	gate  float64
+	epoch uint64 // refresh epoch at the last disturbance update
+	// epochRef is the device refCount when epoch was last derived; the
+	// epoch is a pure function of (row, refCount), so while refCount is
+	// unchanged the derivation can be skipped entirely.
+	epochRef     uint64
+	acts         uint64 // activations of this row itself since Reset
+	materialized bool   // weak-cell population drawn
+	// nbr caches the states of the four blast-radius neighbors
+	// (row-1, row+1, row-2, row+2; nil = off the edge of the bank),
+	// filled on the row's first activation. States are created once and
+	// never replaced, so the pointers stay valid for the device's
+	// lifetime — Activate touches one cache line instead of four
+	// row-cache probes.
+	nbrOK bool
+	nbr   [4]*rowState
+	cells []weakCell
 }
 
 // materializeFloor defers drawing a row's weak-cell population until its
@@ -85,6 +111,23 @@ type rowState struct {
 // thousands, so the deferral never changes behaviour — it only keeps
 // casually touched rows (e.g. during timing measurements) cheap.
 const materializeFloor = 512
+
+// Direct-mapped row-state cache geometry. The aggressor working set of
+// any pattern is a few dozen (bank,row) pairs, so a 4096-entry cache
+// makes the steady-state Activate path hash-free; conflicting keys
+// simply fall back to the per-bank maps.
+const (
+	rowCacheBits = 12
+	rowCacheSize = 1 << rowCacheBits
+	rowCacheMask = rowCacheSize - 1
+	rowCacheTag  = uint64(1) << 63 // valid marker OR'ed into cached keys
+)
+
+// rowCacheEntry is one slot of the direct-mapped (bank,row)→state cache.
+type rowCacheEntry struct {
+	key uint64 // row | bank<<48 | rowCacheTag; 0 = empty
+	st  *rowState
+}
 
 // Device is one simulated DIMM attached to a memory controller.
 type Device struct {
@@ -101,25 +144,42 @@ type Device struct {
 	rows     uint64
 	rowsMask uint64
 
+	// rowsPerSlice is rows/RefreshSlices (min 1), precomputed so the
+	// per-victim epoch check never divides; when it is a power of two
+	// (every profile in arch), sliceShift replaces even the cached
+	// division with a shift.
+	rowsPerSlice uint64
+	sliceShift   uint
+	sliceByShift bool
+
 	// touched maps bank -> row -> state, for rows adjacent to any
-	// activated row.
+	// activated row and for activated rows themselves (act counting).
 	touched []map[uint64]*rowState
+
+	// rowCache short-circuits the touched-map lookups for the hot
+	// working set. Entries are never invalidated: states are created
+	// exactly once and mutated in place, so a cached pointer stays
+	// correct for the device's lifetime.
+	rowCache []rowCacheEntry
 
 	// trr holds the per-bank TRR sampler state (cleared every REF);
 	// real DDR4 TRR logic operates independently per bank.
 	trr []trrSampler
 
-	// ptrrCounts tracks per-REF activation counts for the pTRR model.
-	ptrrCounts map[uint64]int
+	// trrLog buffers the (post-swap) activated rows of each bank within
+	// the current refresh interval; Refresh replays it into the sampler
+	// in order, so per-activation cost is one append instead of a
+	// sampler scan and the REF boundary pays the aggregation.
+	trrLog [][]uint32
+
+	// ptrrCounts tracks per-REF activation counts for the pTRR model in
+	// a flat open-addressing table cleared at every REF.
+	ptrrCounts ptrrTable
 
 	flips     []Flip
 	refCount  uint64 // total REF commands issued
 	actCount  uint64
 	trrEvents uint64
-
-	// actCounts tracks per-row activation totals for diagnostics and
-	// the experiment harness (cleared by Reset).
-	actCounts map[uint64]uint64
 
 	// rfm holds the DDR5 refresh-management state (nil on DDR4).
 	rfm       []rfmState
@@ -150,16 +210,25 @@ func NewDevice(d *arch.DIMM, seed int64) *Device {
 		rows:     d.RowsPerBank,
 		rowsMask: d.RowsPerBank - 1,
 	}
+	dev.rowsPerSlice = dev.rows / RefreshSlices
+	if dev.rowsPerSlice == 0 {
+		dev.rowsPerSlice = 1
+	}
+	if dev.rowsPerSlice&(dev.rowsPerSlice-1) == 0 {
+		dev.sliceShift = uint(bits.TrailingZeros64(dev.rowsPerSlice))
+		dev.sliceByShift = true
+	}
 	dev.touched = make([]map[uint64]*rowState, dev.banks)
 	for i := range dev.touched {
 		dev.touched[i] = make(map[uint64]*rowState)
 	}
+	dev.rowCache = make([]rowCacheEntry, rowCacheSize)
 	dev.trr = make([]trrSampler, dev.banks)
 	for i := range dev.trr {
 		dev.trr[i] = newTRRSampler(d.TRRSamplerSize)
 	}
-	dev.ptrrCounts = make(map[uint64]int)
-	dev.actCounts = make(map[uint64]uint64)
+	dev.trrLog = make([][]uint32, dev.banks)
+	dev.ptrrCounts.init()
 	dev.initRFM()
 	return dev
 }
@@ -176,20 +245,64 @@ func (d *Device) ActivationCount() uint64 { return d.actCount }
 // TRREvents returns how many targeted refreshes TRR has issued.
 func (d *Device) TRREvents() uint64 { return d.trrEvents }
 
-// blast returns the disturbance one activation deposits on a neighbor at
-// the given row distance. Distance-2 coupling is an order of magnitude
-// weaker (Half-Double-style far aggressors are out of scope but the
-// coupling keeps double-sided patterns realistically stronger than
-// single-sided ones).
+// blastWeights[dist] is the disturbance one activation deposits on a
+// neighbor at the given row distance. Distance-2 coupling is an order of
+// magnitude weaker (Half-Double-style far aggressors are out of scope
+// but the coupling keeps double-sided patterns realistically stronger
+// than single-sided ones).
+var blastWeights = [3]float64{0, 1.0, 0.08}
+
+// blast returns the disturbance weight at the given row distance.
 func blast(dist int) float64 {
-	switch dist {
-	case 1:
-		return 1.0
-	case 2:
-		return 0.08
-	default:
+	if dist < 0 || dist >= len(blastWeights) {
 		return 0
 	}
+	return blastWeights[dist]
+}
+
+// rowKey packs a (bank, row) pair into the 64-bit key used by the state
+// store and the pTRR table.
+func rowKey(bank int, row uint64) uint64 { return row | uint64(bank)<<48 }
+
+// state returns the row's state, creating it on first touch. The
+// direct-mapped cache serves the steady-state working set without
+// hashing; misses fall back to (and refill from) the per-bank map. The
+// fast path is kept small enough to inline into Activate and disturb.
+func (d *Device) state(bank int, row uint64) *rowState {
+	e := &d.rowCache[(row^uint64(bank)<<6)&rowCacheMask]
+	if e.key == rowKey(bank, row)|rowCacheTag {
+		return e.st
+	}
+	return d.stateSlow(bank, row)
+}
+
+// stateSlow is the cache-miss path of state.
+func (d *Device) stateSlow(bank int, row uint64) *rowState {
+	st := d.touched[bank][row]
+	if st == nil {
+		st = &rowState{minThresh: math.Inf(1), gate: materializeFloor}
+		d.touched[bank][row] = st
+	}
+	e := &d.rowCache[(row^uint64(bank)<<6)&rowCacheMask]
+	e.key = rowKey(bank, row) | rowCacheTag
+	e.st = st
+	return st
+}
+
+// peek returns the row's state without creating one, refilling the cache
+// on a map hit.
+func (d *Device) peek(bank int, row uint64) *rowState {
+	key := rowKey(bank, row) | rowCacheTag
+	e := &d.rowCache[(row^uint64(bank)<<6)&rowCacheMask]
+	if e.key == key {
+		return e.st
+	}
+	st := d.touched[bank][row]
+	if st != nil {
+		e.key = key
+		e.st = st
+	}
+	return st
 }
 
 // Activate registers one ACT on (bank, row) at simulation time now (ns).
@@ -197,29 +310,57 @@ func blast(dist int) float64 {
 // whose thresholds are crossed.
 func (d *Device) Activate(bank int, row uint64, now float64) {
 	d.actCount++
-	d.actCounts[row|uint64(bank)<<48]++
+	st := d.state(bank, row)
+	st.acts++
 	if d.rowSwap.enabled {
 		// The swap layer sits between the address and the physical
 		// array: everything below — disturbance, TRR sampling, RFM —
 		// sees the row's current physical location.
 		d.rowSwapObserve(bank, row)
 		row = d.swapTarget(bank, row)
+		st = d.state(bank, row)
 	}
-	d.trr[bank].observe(row)
+	d.trrLog[bank] = append(d.trrLog[bank], uint32(row))
 	if d.PTRR {
-		d.ptrrCounts[row|uint64(bank)<<48]++
+		d.ptrrCounts.add(rowKey(bank, row))
 	}
 	if d.DIMM.DDR5 {
 		d.rfmObserve(bank, row)
 	}
-	for dist := 1; dist <= 2; dist++ {
-		w := blast(dist)
-		if row >= uint64(dist) {
-			d.disturb(bank, row-uint64(dist), w, now)
-		}
-		if row+uint64(dist) < d.rows {
-			d.disturb(bank, row+uint64(dist), w, now)
-		}
+	if !st.nbrOK {
+		d.fillNeighbors(bank, row, st)
+	}
+	// Victim order (near pair before far pair) matches the original
+	// dist-loop so the flip log sequence is bit-identical.
+	if n := st.nbr[0]; n != nil {
+		d.disturb(n, bank, row-1, blastWeights[1], now)
+	}
+	if n := st.nbr[1]; n != nil {
+		d.disturb(n, bank, row+1, blastWeights[1], now)
+	}
+	if n := st.nbr[2]; n != nil {
+		d.disturb(n, bank, row-2, blastWeights[2], now)
+	}
+	if n := st.nbr[3]; n != nil {
+		d.disturb(n, bank, row+2, blastWeights[2], now)
+	}
+}
+
+// fillNeighbors resolves and pins the blast-radius neighbor states of a
+// row on its first activation.
+func (d *Device) fillNeighbors(bank int, row uint64, st *rowState) {
+	st.nbrOK = true
+	if row >= 1 {
+		st.nbr[0] = d.state(bank, row-1)
+	}
+	if row+1 < d.rows {
+		st.nbr[1] = d.state(bank, row+1)
+	}
+	if row >= 2 {
+		st.nbr[2] = d.state(bank, row-2)
+	}
+	if row+2 < d.rows {
+		st.nbr[3] = d.state(bank, row+2)
 	}
 }
 
@@ -227,29 +368,44 @@ func (d *Device) Activate(bank int, row uint64, now float64) {
 // refreshed so far; a change since the last update means the row was
 // refreshed in between and its window accumulator restarts.
 func (d *Device) rowEpoch(row uint64) uint64 {
-	rowsPerSlice := d.rows / RefreshSlices
-	if rowsPerSlice == 0 {
-		rowsPerSlice = 1
+	var slice uint64
+	if d.sliceByShift {
+		slice = row >> d.sliceShift
+	} else {
+		slice = row / d.rowsPerSlice
 	}
-	slice := row / rowsPerSlice
 	if slice >= RefreshSlices {
 		slice = RefreshSlices - 1
 	}
 	return (d.refCount + RefreshSlices - 1 - slice) / RefreshSlices
 }
 
-// disturb adds disturbance w to a victim row and fires flips.
-func (d *Device) disturb(bank int, row uint64, w float64, now float64) {
-	st := d.touched[bank][row]
-	if st == nil {
-		st = &rowState{minThresh: math.Inf(1)}
-		d.touched[bank][row] = st
+// disturb adds disturbance w to the victim row's (pre-resolved) state
+// and fires flips. The body is the steady-state fast path — same epoch,
+// gate not reached — kept small enough to inline into Activate; anything
+// else goes to disturbSlow.
+func (d *Device) disturb(st *rowState, bank int, row uint64, w float64, now float64) {
+	if st.epochRef == d.refCount && st.disturbance+w < st.gate {
+		st.disturbance += w
+		return
 	}
-	if e := d.rowEpoch(row); e != st.epoch {
-		// The row's regular refresh passed since the last update:
-		// its disturbance window restarted.
-		st.epoch = e
-		st.disturbance = 0
+	d.disturbSlow(st, bank, row, w, now)
+}
+
+// disturbSlow handles epoch rollover, materialization, and threshold
+// crossings; it is the pre-split disturb body, bit-for-bit.
+func (d *Device) disturbSlow(st *rowState, bank int, row uint64, w float64, now float64) {
+	if st.epochRef != d.refCount {
+		// A REF happened since this row's last update; re-derive its
+		// refresh epoch. (While refCount is unchanged the epoch cannot
+		// change, so the steady state skips the derivation.)
+		st.epochRef = d.refCount
+		if e := d.rowEpoch(row); e != st.epoch {
+			// The row's regular refresh passed since the last update:
+			// its disturbance window restarted.
+			st.epoch = e
+			st.disturbance = 0
+		}
 	}
 	st.disturbance += w
 	if !st.materialized {
@@ -280,6 +436,7 @@ func (d *Device) disturb(bank int, row uint64, w float64, now float64) {
 		}
 	}
 	st.minThresh = next
+	st.gate = next
 }
 
 // materializeRow draws the weak-cell population of a row from the
@@ -289,6 +446,7 @@ func (d *Device) disturb(bank int, row uint64, w float64, now float64) {
 func (d *Device) materializeRow(bank int, row uint64, st *rowState) {
 	st.materialized = true
 	st.minThresh = math.Inf(1)
+	st.gate = math.Inf(1)
 	if !d.DIMM.Flippable {
 		return
 	}
@@ -308,6 +466,7 @@ func (d *Device) materializeRow(bank int, row uint64, st *rowState) {
 			st.minThresh = c.threshold
 		}
 	}
+	st.gate = st.minThresh
 }
 
 // Refresh executes one REF command at simulation time now: the rotating
@@ -317,6 +476,21 @@ func (d *Device) Refresh(now float64) {
 	// Regular refresh of the rotating row slice is applied lazily via
 	// rowEpoch; only the counter advances here.
 	d.refCount++
+
+	// Replay the interval's buffered activations into the per-bank
+	// samplers, in original order — bit-identical to sampling at
+	// activation time, but the scan cost is paid once per REF.
+	for bank := range d.trrLog {
+		log := d.trrLog[bank]
+		if len(log) == 0 {
+			continue
+		}
+		s := &d.trr[bank]
+		for _, row := range log {
+			s.observe(uint64(row))
+		}
+		d.trrLog[bank] = log[:0]
+	}
 
 	if d.OnRefresh != nil {
 		d.OnRefresh(d.trr[0].keys, d.trr[0].counts)
@@ -345,12 +519,12 @@ func (d *Device) refreshNeighborhood(bank int, row uint64) {
 	}
 	for dist := uint64(1); dist <= 2; dist++ {
 		if row >= dist {
-			if st := d.touched[bank][row-dist]; st != nil {
+			if st := d.peek(bank, row-dist); st != nil {
 				st.disturbance = 0
 			}
 		}
 		if row+dist < d.rows {
-			if st := d.touched[bank][row+dist]; st != nil {
+			if st := d.peek(bank, row+dist); st != nil {
 				st.disturbance = 0
 			}
 		}
@@ -361,37 +535,38 @@ func (d *Device) refreshNeighborhood(bank int, row uint64) {
 // sampler it sees every activation, so it reliably neutralizes all
 // heavily hammered rows each interval.
 func (d *Device) ptrrSweep() {
-	type rc struct {
-		key uint64
-		n   int
-	}
-	var hot []rc
-	for k, n := range d.ptrrCounts {
-		if n >= 3 {
-			hot = append(hot, rc{k, n})
-		}
-	}
-	sort.Slice(hot, func(i, j int) bool { return hot[i].n > hot[j].n })
+	hot := d.ptrrCounts.hot(3)
+	// Stable sort on count with insertion order breaking ties, so the
+	// top-64 cut is deterministic (the map-based predecessor broke ties
+	// by map iteration order).
+	sort.SliceStable(hot, func(i, j int) bool { return hot[i].count > hot[j].count })
 	if len(hot) > 64 {
 		hot = hot[:64]
 	}
 	for _, h := range hot {
 		d.refreshNeighborhood(int(h.key>>48), h.key&d.rowsMask)
 	}
-	clear(d.ptrrCounts)
+	d.ptrrCounts.clear()
 }
 
-// Flips returns all flips recorded since the last Reset.
+// Flips returns all flips recorded since the last Reset. The returned
+// slice is only valid until the next Reset, which recycles its backing
+// array; callers that retain flips across trials must copy them (the
+// hammer session result path already does).
 func (d *Device) Flips() []Flip { return d.flips }
 
 // Reset clears disturbance state and recorded flips, modeling the
 // attacker re-initializing victim memory between trials. The per-cell
-// vulnerability map (seeded) is preserved.
+// vulnerability map (seeded) is preserved, as are the lazily built
+// per-row states and the row cache (pointers stay valid — states are
+// mutated in place, never replaced).
 func (d *Device) Reset() {
 	for bank := range d.touched {
 		for _, st := range d.touched[bank] {
 			st.disturbance = 0
 			st.epoch = 0
+			st.epochRef = 0
+			st.acts = 0
 			if !st.materialized {
 				continue
 			}
@@ -403,17 +578,20 @@ func (d *Device) Reset() {
 				}
 			}
 			st.minThresh = next
+			st.gate = next
 		}
 	}
-	d.flips = nil
+	d.flips = d.flips[:0]
 	for i := range d.trr {
 		d.trr[i].clear()
 	}
-	clear(d.ptrrCounts)
+	for i := range d.trrLog {
+		d.trrLog[i] = d.trrLog[i][:0]
+	}
+	d.ptrrCounts.clear()
 	d.refCount = 0
 	d.actCount = 0
 	d.trrEvents = 0
-	clear(d.actCounts)
 	d.resetRFM()
 	d.resetRowSwap()
 }
@@ -421,13 +599,16 @@ func (d *Device) Reset() {
 // ActCount reports the total activations a row has received since the
 // last Reset.
 func (d *Device) ActCount(bank int, row uint64) uint64 {
-	return d.actCounts[row|uint64(bank)<<48]
+	if st := d.peek(bank, row); st != nil {
+		return st.acts
+	}
+	return 0
 }
 
 // RowDisturbance reports the current in-window disturbance of a row,
 // mainly for tests and diagnostics.
 func (d *Device) RowDisturbance(bank int, row uint64) float64 {
-	if st := d.touched[bank][row]; st != nil {
+	if st := d.peek(bank, row); st != nil {
 		return st.disturbance
 	}
 	return 0
@@ -436,11 +617,7 @@ func (d *Device) RowDisturbance(bank int, row uint64) float64 {
 // WeakCellCount reports how many weak cells a row holds (materializing
 // it if needed) — used by tests and the templating analysis.
 func (d *Device) WeakCellCount(bank int, row uint64) int {
-	st := d.touched[bank][row]
-	if st == nil {
-		st = &rowState{minThresh: math.Inf(1)}
-		d.touched[bank][row] = st
-	}
+	st := d.state(bank, row)
 	if !st.materialized {
 		d.materializeRow(bank, row, st)
 	}

@@ -1,0 +1,96 @@
+package dram
+
+// ptrrTable is the flat per-REF activation counter behind the platform
+// pTRR mitigation: an open-addressing hash table keyed by the packed
+// (bank,row) key, with an insertion-order slot log so the per-REF sweep
+// and clear touch only the occupied slots. It replaces a Go map on the
+// per-activation path — the steady-state add() is one probe with no
+// hashing allocations, and clearing is O(rows seen this interval), not
+// O(table).
+type ptrrTable struct {
+	keys   []uint64 // key | ptrrTag; 0 = empty slot
+	counts []int32
+	slots  []int32 // occupied slot indices, insertion order
+}
+
+const (
+	ptrrInitSize = 1024
+	ptrrTag      = uint64(1) << 63 // distinguishes key 0 from an empty slot
+)
+
+// ptrrEntry is one (key, count) pair returned by hot.
+type ptrrEntry struct {
+	key   uint64
+	count int32
+}
+
+func (t *ptrrTable) init() {
+	t.keys = make([]uint64, ptrrInitSize)
+	t.counts = make([]int32, ptrrInitSize)
+	t.slots = t.slots[:0]
+}
+
+// add counts one activation of key.
+func (t *ptrrTable) add(key uint64) {
+	tagged := key | ptrrTag
+	mask := uint64(len(t.keys) - 1)
+	i := (key ^ key>>48) & mask
+	for {
+		switch t.keys[i] {
+		case tagged:
+			t.counts[i]++
+			return
+		case 0:
+			if len(t.slots) > len(t.keys)/2 {
+				t.grow()
+				t.add(key)
+				return
+			}
+			t.keys[i] = tagged
+			t.counts[i] = 1
+			t.slots = append(t.slots, int32(i))
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the table, preserving insertion order.
+func (t *ptrrTable) grow() {
+	oldKeys, oldCounts, oldSlots := t.keys, t.counts, t.slots
+	t.keys = make([]uint64, 2*len(oldKeys))
+	t.counts = make([]int32, 2*len(oldCounts))
+	t.slots = make([]int32, 0, 2*cap(oldSlots))
+	mask := uint64(len(t.keys) - 1)
+	for _, s := range oldSlots {
+		tagged := oldKeys[s]
+		key := tagged &^ ptrrTag
+		i := (key ^ key>>48) & mask
+		for t.keys[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.keys[i] = tagged
+		t.counts[i] = oldCounts[s]
+		t.slots = append(t.slots, int32(i))
+	}
+}
+
+// hot returns the entries with count >= floor, in insertion order.
+func (t *ptrrTable) hot(floor int32) []ptrrEntry {
+	var out []ptrrEntry
+	for _, s := range t.slots {
+		if t.counts[s] >= floor {
+			out = append(out, ptrrEntry{key: t.keys[s] &^ ptrrTag, count: t.counts[s]})
+		}
+	}
+	return out
+}
+
+// clear empties the table, touching only occupied slots.
+func (t *ptrrTable) clear() {
+	for _, s := range t.slots {
+		t.keys[s] = 0
+		t.counts[s] = 0
+	}
+	t.slots = t.slots[:0]
+}

@@ -24,6 +24,10 @@ type trrSampler struct {
 	capacity int
 	keys     []uint64
 	counts   []int
+	// idx and topBuf are scratch buffers reused by top(); the table is
+	// consulted at every REF, so top() must not allocate.
+	idx    []int
+	topBuf []uint64
 }
 
 func newTRRSampler(capacity int) trrSampler {
@@ -34,6 +38,8 @@ func newTRRSampler(capacity int) trrSampler {
 		capacity: capacity,
 		keys:     make([]uint64, 0, capacity),
 		counts:   make([]int, 0, capacity),
+		idx:      make([]int, 0, capacity),
+		topBuf:   make([]uint64, 0, capacity),
 	}
 }
 
@@ -53,35 +59,35 @@ func (s *trrSampler) observe(key uint64) {
 }
 
 // top returns up to n tracked keys with the highest counts. Ties go to
-// the earlier-inserted (earlier-activated) row.
+// the earlier-inserted (earlier-activated) row. The returned slice is a
+// scratch buffer owned by the sampler, valid until the next top call.
 func (s *trrSampler) top(n int) []uint64 {
 	if n <= 0 || len(s.keys) == 0 {
 		return nil
 	}
-	type kc struct {
-		key   uint64
-		count int
-		order int
+	if n > len(s.keys) {
+		n = len(s.keys)
 	}
-	entries := make([]kc, len(s.keys))
+	// Selection sort over an index scratch: insertion position doubles
+	// as the tie-break order, exactly as before.
+	idx := s.idx[:0]
 	for i := range s.keys {
-		entries[i] = kc{s.keys[i], s.counts[i], i}
+		idx = append(idx, i)
 	}
-	if n > len(entries) {
-		n = len(entries)
-	}
-	out := make([]uint64, 0, n)
+	s.idx = idx
+	out := s.topBuf[:0]
 	for k := 0; k < n; k++ {
 		best := k
-		for i := k + 1; i < len(entries); i++ {
-			if entries[i].count > entries[best].count ||
-				(entries[i].count == entries[best].count && entries[i].order < entries[best].order) {
+		for i := k + 1; i < len(idx); i++ {
+			if s.counts[idx[i]] > s.counts[idx[best]] ||
+				(s.counts[idx[i]] == s.counts[idx[best]] && idx[i] < idx[best]) {
 				best = i
 			}
 		}
-		entries[k], entries[best] = entries[best], entries[k]
-		out = append(out, entries[k].key)
+		idx[k], idx[best] = idx[best], idx[k]
+		out = append(out, s.keys[idx[k]])
 	}
+	s.topBuf = out
 	return out
 }
 

@@ -173,7 +173,33 @@ type Session struct {
 	Ctrl *memctrl.Controller
 	Eng  *cpu.Engine
 	Rand *stats.Rand
+
+	// progCache memoizes lowered programs: repeated HammerPattern calls
+	// with the same (pattern, placement, strategy) — the templating and
+	// benchmarking steady state — reuse the built cpu.Program instead of
+	// re-rendering and re-lowering it. Keyed by pattern pointer;
+	// patterns are immutable once built (the fuzzer and mutator always
+	// construct fresh ones).
+	progCache map[progKey]*cpu.Program
 }
+
+// progKey identifies one lowered program: the pattern plus every config
+// field the lowering depends on, and the placement.
+type progKey struct {
+	pat     *pattern.Pattern
+	instr   Instr
+	barrier Barrier
+	nops    int
+	banks   int
+	bank    int
+	baseRow uint64
+}
+
+// progCacheLimit bounds the memoized programs per session; long fuzzing
+// campaigns would otherwise accumulate one entry per (pattern, location).
+// The cache is cleared wholesale when full — deterministic, and the
+// steady-state workloads that matter reuse a handful of entries.
+const progCacheLimit = 256
 
 // NewSession creates a session for the architecture/DIMM pair. The seed
 // fixes both the DIMM's vulnerability map and the engine's stochastic
@@ -194,9 +220,31 @@ func NewSession(a *arch.Arch, d *arch.DIMM, seed int64) (*Session, error) {
 	ctrl := memctrl.New(a, m, dev)
 	return &Session{
 		Arch: a, DIMM: d, Map: m, Dev: dev, Ctrl: ctrl,
-		Eng:  cpu.NewEngine(a, ctrl, r),
-		Rand: r,
+		Eng:       cpu.NewEngine(a, ctrl, r),
+		Rand:      r,
+		progCache: make(map[progKey]*cpu.Program),
 	}, nil
+}
+
+// program returns the lowered program for (pat, cfg, bank, baseRow),
+// building and memoizing it on first use.
+func (s *Session) program(pat *pattern.Pattern, cfg Config, bank int, baseRow uint64) (*cpu.Program, error) {
+	key := progKey{
+		pat: pat, instr: cfg.Instr, barrier: cfg.Barrier,
+		nops: cfg.Nops, banks: cfg.Banks, bank: bank, baseRow: baseRow,
+	}
+	if prog, ok := s.progCache[key]; ok {
+		return prog, nil
+	}
+	prog, err := s.build(pat, cfg, bank, baseRow)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.progCache) >= progCacheLimit {
+		clear(s.progCache)
+	}
+	s.progCache[key] = prog
+	return prog, nil
 }
 
 // EnablePTRR turns on the platform pTRR mitigation (§6).
@@ -234,7 +282,7 @@ func (s *Session) HammerPattern(pat *pattern.Pattern, cfg Config, bank int, base
 	if baseRow+maxOff+2 >= s.Map.Rows() {
 		return Result{}, fmt.Errorf("hammer: base row %d + offset %d exceeds %d rows", baseRow, maxOff, s.Map.Rows())
 	}
-	prog, err := s.build(pat, cfg, bank, baseRow)
+	prog, err := s.program(pat, cfg, bank, baseRow)
 	if err != nil {
 		return Result{}, err
 	}
@@ -274,7 +322,7 @@ func (s *Session) HammerPatternFor(pat *pattern.Pattern, cfg Config, bank int, b
 	if baseRow+maxOff+2 >= s.Map.Rows() {
 		return Result{}, fmt.Errorf("hammer: base row %d + offset %d exceeds %d rows", baseRow, maxOff, s.Map.Rows())
 	}
-	prog, err := s.build(pat, cfg, bank, baseRow)
+	prog, err := s.program(pat, cfg, bank, baseRow)
 	if err != nil {
 		return Result{}, err
 	}

@@ -99,7 +99,42 @@ type Controller struct {
 	busyUnit []float64 // earliest next command per bank
 	nextREF  float64
 
+	// decode is a direct-mapped cache of the Map.Bank/Map.Row
+	// translation. Hammer loops revisit the same ~dozen physical
+	// addresses millions of times, and evaluating the XOR bank
+	// functions (a popcount per function) dominates the open-row
+	// bookkeeping; the mapping is immutable, so entries never go stale.
+	decode []decodeEntry
+
 	stats Stats
+}
+
+// Decode-cache geometry: aggressor lines differ in row bits and in the
+// low bits the bank solver flips, so both ranges feed the index.
+const (
+	decodeBits = 12
+	decodeSize = 1 << decodeBits
+	decodeMask = decodeSize - 1
+)
+
+// decodeEntry caches one physical address translation.
+type decodeEntry struct {
+	pa   uint64
+	row  int64
+	bank int32
+	ok   bool
+}
+
+// decodeAddr resolves pa to (bank, row) through the cache.
+func (c *Controller) decodeAddr(pa uint64) (int, int64) {
+	e := &c.decode[((pa>>6)^(pa>>18))&decodeMask]
+	if e.ok && e.pa == pa {
+		return int(e.bank), e.row
+	}
+	bank := c.Map.Bank(pa)
+	row := int64(c.Map.Row(pa))
+	*e = decodeEntry{pa: pa, row: row, bank: int32(bank), ok: true}
+	return bank, row
 }
 
 // New creates a controller. The mapping's bank count must not exceed the
@@ -111,11 +146,12 @@ func New(a *arch.Arch, m *mapping.Mapping, dev *dram.Device) *Controller {
 	}
 	c := &Controller{
 		Arch: a, Map: m, Dev: dev,
-		T:        DeriveTimings(minInt(a.MemFreqMHz, dev.DIMM.FreqMHz)),
+		T:        DeriveTimings(min(a.MemFreqMHz, dev.DIMM.FreqMHz)),
 		openRow:  make([]int64, m.Banks()),
 		lastACT:  make([]float64, m.Banks()),
 		busyUnit: make([]float64, m.Banks()),
 		nextREF:  dram.TREFIns,
+		decode:   make([]decodeEntry, decodeSize),
 	}
 	for i := range c.openRow {
 		c.openRow[i] = -1
@@ -154,8 +190,7 @@ func (c *Controller) advanceRefresh(now float64) {
 // available to the core) and the access classification.
 func (c *Controller) Access(pa uint64, at float64) (complete float64, kind AccessKind) {
 	c.advanceRefresh(at)
-	bank := c.Map.Bank(pa)
-	row := int64(c.Map.Row(pa))
+	bank, row := c.decodeAddr(pa)
 
 	start := at
 	if c.busyUnit[bank] > start {
@@ -204,8 +239,7 @@ func (c *Controller) Access(pa uint64, at float64) (complete float64, kind Acces
 // Classify reports what kind of access pa would be right now, without
 // issuing it. Used by diagnostics only.
 func (c *Controller) Classify(pa uint64) AccessKind {
-	bank := c.Map.Bank(pa)
-	row := int64(c.Map.Row(pa))
+	bank, row := c.decodeAddr(pa)
 	switch c.openRow[bank] {
 	case row:
 		return KindRowHit
@@ -233,11 +267,4 @@ func (c *Controller) Reset() {
 	}
 	c.nextREF = dram.TREFIns
 	c.stats = Stats{}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
