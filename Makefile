@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench
+.PHONY: build vet test race determinism verify bench
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# The race detector runs on the one package that spawns goroutines (the
-# parMap experiment fan-out); -short skips the multi-minute campaign
-# tests so the check stays under ~2 minutes.
+# The race detector runs on the packages that spawn goroutines (the
+# campaign runner and the experiment grids built on it); -short skips
+# the multi-minute campaign tests so the check stays under ~2 minutes.
 race:
-	$(GO) test -race -short ./internal/experiments
+	$(GO) test -race -short ./internal/campaign ./internal/experiments
 
-verify: build vet test race
+# determinism proves the campaign contract under the race detector:
+# rendered experiment bytes are identical at 1 and 8 workers, and the
+# runner's synthetic grids agree across worker counts.
+determinism:
+	$(GO) test -race -run 'Determinism' ./internal/campaign ./internal/experiments
+
+verify: build vet test race determinism
 
 # bench regenerates the machine-readable benchmark snapshot
 # (BENCH_<date>.json); see cmd/bench for flags.

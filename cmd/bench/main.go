@@ -26,6 +26,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"rhohammer/internal/experiments"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -44,16 +46,31 @@ type Benchmark struct {
 	Benchtime string `json:"benchtime"`
 }
 
+// CampaignTiming is one (campaign, worker-count) wall-clock sample from
+// the parallel-grid pass. Identical output bytes at every worker count
+// are guaranteed by the runner; these entries track only the time.
+type CampaignTiming struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	// Speedup is wall(1 worker)/wall(this entry); 0 for the 1-worker row.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	Benchtime  string      `json:"benchtime"`
-	Bench      string      `json:"bench"`
-	WallTime   string      `json:"wall_time"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU bounds any parallel speedup the campaign grid can show; on
+	// a single-CPU host the 8-worker rows legitimately match 1 worker.
+	NumCPU     int              `json:"num_cpu"`
+	Benchtime  string           `json:"benchtime"`
+	Bench      string           `json:"bench"`
+	WallTime   string           `json:"wall_time"`
+	Benchmarks []Benchmark      `json:"benchmarks"`
+	Campaigns  []CampaignTiming `json:"campaigns,omitempty"`
 }
 
 func main() {
@@ -64,6 +81,9 @@ func main() {
 		"micro-benchmark regexp for the second pass")
 	microBenchtime := flag.String("micro-benchtime", "2s",
 		"go test -benchtime for the micro pass (0x skips it)")
+	gridNames := flag.String("grid", "table3,fig6,fig9",
+		"comma-separated campaigns for the parallel-grid pass (empty skips it)")
+	gridScale := flag.Float64("grid-scale", 0.2, "experiment scale for the grid pass")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
 	flag.Parse()
 
@@ -96,15 +116,25 @@ func main() {
 		}
 	}
 
+	var campaigns []CampaignTiming
+	if *gridNames != "" {
+		campaigns, err = runGrid(strings.Split(*gridNames, ","), *gridScale)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	rep := Report{
 		Date:       date,
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
 		Benchtime:  *benchtime,
 		Bench:      *benchRe,
 		WallTime:   time.Since(start).Round(time.Second).String(),
 		Benchmarks: benches,
+		Campaigns:  campaigns,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -115,6 +145,37 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(benches))
+}
+
+// runGrid times each named campaign in-process at 1 and 8 workers.
+// The runner guarantees identical bytes at every worker count, so the
+// interesting number is the wall-clock ratio — which NumCPU caps.
+func runGrid(names []string, scale float64) ([]CampaignTiming, error) {
+	var out []CampaignTiming
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		var serialMS float64
+		for _, workers := range []int{1, 8} {
+			cfg := experiments.Config{Seed: 42, Scale: scale, Workers: workers}
+			t0 := time.Now()
+			if _, err := experiments.Run(name, cfg); err != nil {
+				return nil, fmt.Errorf("grid pass: %w", err)
+			}
+			wallMS := float64(time.Since(t0)) / float64(time.Millisecond)
+			ct := CampaignTiming{Name: name, Workers: workers, WallMS: wallMS}
+			if workers == 1 {
+				serialMS = wallMS
+			} else if wallMS > 0 {
+				ct.Speedup = serialMS / wallMS
+			}
+			fmt.Printf("campaign %-12s workers=%d wall=%.0fms\n", name, workers, wallMS)
+			out = append(out, ct)
+		}
+	}
+	return out, nil
 }
 
 // runPass executes one `go test -bench` invocation and parses its

@@ -1,13 +1,18 @@
 // Command experiments regenerates the paper's tables and figures on the
-// simulated substrate.
+// simulated substrate, driven by the campaign registry.
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale X] all
-//	experiments [-seed N] [-scale X] table1 table2 ... fig11 e2e
+//	experiments -list
+//	experiments [-seed N] [-scale X] [-parallel W] all
+//	experiments [-seed N] [-scale X] [-parallel W] table1 fig9 ...
+//	experiments [-seed N] [-scale X] -only table6
 //
 // Scale 1 is the fast default; larger values approach the paper's
-// budgets (table6 at scale 1 takes a couple of minutes).
+// budgets (table6 at scale 1 takes a couple of minutes). -parallel
+// bounds the campaign worker pool; every experiment's bytes are
+// identical for any worker count — parallelism only changes wall-clock
+// time.
 package main
 
 import (
@@ -19,86 +24,85 @@ import (
 	"rhohammer/internal/experiments"
 )
 
-var runners = []struct {
-	name string
-	run  func(experiments.Config) experiments.Renderer
-}{
-	{"table1", func(c experiments.Config) experiments.Renderer { return experiments.Table1(c) }},
-	{"table2", func(c experiments.Config) experiments.Renderer { return experiments.Table2(c) }},
-	{"fig3", func(c experiments.Config) experiments.Renderer { return experiments.Fig3(c) }},
-	{"fig4", func(c experiments.Config) experiments.Renderer { return experiments.Fig4(c) }},
-	{"table4", func(c experiments.Config) experiments.Renderer { return experiments.Table4(c) }},
-	{"table5", func(c experiments.Config) experiments.Renderer { return experiments.Table5(c) }},
-	{"fig6", func(c experiments.Config) experiments.Renderer { return experiments.Fig6(c) }},
-	{"fig8", func(c experiments.Config) experiments.Renderer { return experiments.Fig8(c) }},
-	{"fig9", func(c experiments.Config) experiments.Renderer { return experiments.Fig9(c) }},
-	{"fig10", func(c experiments.Config) experiments.Renderer { return experiments.Fig10(c) }},
-	{"table3", func(c experiments.Config) experiments.Renderer { return experiments.Table3(c) }},
-	{"table6", func(c experiments.Config) experiments.Renderer { return experiments.Table6(c) }},
-	{"fig11", func(c experiments.Config) experiments.Renderer { return experiments.Fig11(c) }},
-	{"e2e", func(c experiments.Config) experiments.Renderer { return experiments.E2E(c) }},
-	{"mitigations", func(c experiments.Config) experiments.Renderer { return experiments.Mitigations(c) }},
-	{"ablation-cs", func(c experiments.Config) experiments.Renderer { return experiments.AblationCounterSpec(c) }},
-	{"ablation-sampler", func(c experiments.Config) experiments.Renderer { return experiments.AblationSamplerSize(c) }},
-}
-
 func main() {
 	seed := flag.Int64("seed", 42, "random seed (results are deterministic in the seed)")
 	scale := flag.Float64("scale", 1, "workload scale; >1 approaches the paper's budgets")
+	parallel := flag.Int("parallel", 0, "campaign worker pool size; 0 means GOMAXPROCS (results are identical for every value)")
+	only := flag.String("only", "", "run exactly one named experiment")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	asJSON := flag.Bool("json", false, "emit structured JSON instead of text")
 	flag.Parse()
 
+	names := experiments.Registry.Names()
+
+	if *list {
+		for _, n := range names {
+			e, _ := experiments.Registry.Lookup(n)
+			fmt.Printf("%-18s %-7s %s\n", e.Name, e.Kind, e.Title)
+		}
+		return
+	}
+
 	args := flag.Args()
+	if *only != "" {
+		if len(args) > 0 {
+			fmt.Fprintln(os.Stderr, "-only cannot be combined with positional experiment names")
+			os.Exit(2)
+		}
+		args = []string{*only}
+	}
 	if len(args) == 0 {
-		usage()
+		usage(names)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: *parallel}
 
 	selected := map[string]bool{}
 	for _, a := range args {
 		if a == "all" {
-			for _, r := range runners {
-				selected[r.name] = true
+			for _, n := range names {
+				selected[n] = true
 			}
 			continue
 		}
-		found := false
-		for _, r := range runners {
-			if r.name == a {
-				selected[a] = true
-				found = true
-			}
-		}
-		if !found {
+		if _, ok := experiments.Registry.Lookup(a); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)
-			usage()
+			usage(names)
 			os.Exit(2)
 		}
+		selected[a] = true
 	}
 
-	for _, r := range runners {
-		if !selected[r.name] {
+	// Registration order is rendering order, matching the paper's
+	// narrative.
+	for _, name := range names {
+		if !selected[name] {
 			continue
 		}
 		start := time.Now()
-		res := r.run(cfg)
+		res, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if *asJSON {
-			if err := experiments.WriteJSON(os.Stdout, r.name, cfg, res); err != nil {
+			if err := experiments.WriteJSON(os.Stdout, name, cfg, res); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			continue
 		}
 		res.Render(os.Stdout)
-		fmt.Printf("[%s completed in %v]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-scale X] <experiment...|all>\nexperiments:")
-	for _, r := range runners {
-		fmt.Fprintf(os.Stderr, " %s", r.name)
+func usage(names []string) {
+	fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-scale X] [-parallel W] [-json] <experiment...|all>\n")
+	fmt.Fprintf(os.Stderr, "       experiments -only <experiment>\n")
+	fmt.Fprintf(os.Stderr, "       experiments -list\nexperiments:")
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, " %s", n)
 	}
 	fmt.Fprintln(os.Stderr)
 }

@@ -1,9 +1,15 @@
+// Command goldenhash prints the sha256 of the pinned experiments'
+// rendered output at the golden configuration (Seed 42, Scale 0.5).
+// Run it after any change that intentionally alters RNG streams (e.g.
+// a new seed-derivation scheme) and paste the hashes into
+// internal/experiments/golden_test.go.
 package main
 
 import (
 	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"os"
 	"time"
 
 	"rhohammer/internal/experiments"
@@ -11,18 +17,15 @@ import (
 
 func main() {
 	cfg := experiments.Config{Seed: 42, Scale: 0.5}
-	for _, e := range []struct {
-		name string
-		run  func(experiments.Config) experiments.Renderer
-	}{
-		{"Table3", func(c experiments.Config) experiments.Renderer { return experiments.Table3(c) }},
-		{"Table6", func(c experiments.Config) experiments.Renderer { return experiments.Table6(c) }},
-		{"Fig9", func(c experiments.Config) experiments.Renderer { return experiments.Fig9(c) }},
-	} {
+	for _, name := range []string{"table3", "table6", "fig9"} {
 		t0 := time.Now()
-		r := e.run(cfg)
+		r, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		var buf bytes.Buffer
 		r.Render(&buf)
-		fmt.Printf("%s: sha256=%x wall=%s bytes=%d\n", e.name, sha256.Sum256(buf.Bytes()), time.Since(t0).Round(time.Millisecond), buf.Len())
+		fmt.Printf("%s: sha256=%x wall=%s bytes=%d\n", name, sha256.Sum256(buf.Bytes()), time.Since(t0).Round(time.Millisecond), buf.Len())
 	}
 }

@@ -1,0 +1,157 @@
+// Package campaign turns the paper's evaluation grids into declarative,
+// deterministically parallel campaigns.
+//
+// The evaluation (Tables 3–7, Figs. 6–12) is a collection of grids:
+// every table or figure is a cartesian product of independent cells —
+// (architecture, DIMM, hammer configuration, pattern, budget) — whose
+// results are then assembled into one rendered artifact. A Spec
+// describes such a grid declaratively, a Registry names every Spec the
+// repository knows how to build, and a Runner executes a Spec's cells
+// across a bounded worker pool.
+//
+// Determinism is the package's core contract: each cell derives its own
+// RNG seed from the campaign seed and the cell's stable key
+// (stats.SplitSeed), never from shared RNG state, worker identity, or
+// completion order. Consequently the gathered result is bit-identical
+// for every worker count — parallelism changes wall-clock time and
+// nothing else — and any future workload (a new DIMM profile, a
+// mitigation sweep, the DDR5 outlook) plugs into the same engine as one
+// more Spec.
+package campaign
+
+import (
+	"fmt"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/pattern"
+	"rhohammer/internal/stats"
+)
+
+// Kind classifies a campaign by the paper artifact it regenerates.
+type Kind uint8
+
+const (
+	// KindTable campaigns regenerate a numbered table.
+	KindTable Kind = iota
+	// KindFigure campaigns regenerate a numbered figure.
+	KindFigure
+	// KindAux campaigns regenerate supplementary artifacts (ablations,
+	// mitigation studies, end-to-end runs).
+	KindAux
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTable:
+		return "table"
+	case KindFigure:
+		return "figure"
+	case KindAux:
+		return "aux"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Budget bounds one cell's workload. Spec builders scale these from the
+// experiment configuration; Exec functions read them instead of
+// recomputing scaled values, so a cell is fully described by its struct.
+type Budget struct {
+	// Locations is the number of physical locations swept or regions
+	// templated.
+	Locations int
+	// Patterns is the number of fuzzing candidates tried.
+	Patterns int
+	// Runs is the number of independent repetitions (Table 5's 50-run
+	// accuracy protocol).
+	Runs int
+	// Probes is the number of measurement samples (latency pairs,
+	// timing rounds).
+	Probes int
+	// Activations is the per-pattern activation budget.
+	Activations int
+	// DurationNS is the simulated hammering time per location/pattern.
+	DurationNS float64
+}
+
+// Cell is one independent grid point of a campaign. The declarative
+// fields name the platform, module, strategy, pattern and effort; Aux
+// carries any experiment-specific remainder (a strategy label, a tool
+// name). Cells must not share mutable state: every Exec call builds its
+// own hammer.Session (sessions are single-goroutine by contract).
+type Cell struct {
+	// Key identifies the cell within its Spec. It must be unique and
+	// stable across runs: the cell's RNG seed is derived from it, so
+	// renaming a cell intentionally changes its random stream.
+	Key string
+	// Arch is the platform profile, nil when the cell is not
+	// platform-specific.
+	Arch *arch.Arch
+	// DIMM is the memory module profile, nil when not module-specific.
+	DIMM *arch.DIMM
+	// Config is the hammering strategy; the zero value when the cell
+	// does not hammer (e.g. reverse-engineering cells).
+	Config hammer.Config
+	// Pattern is the access pattern, nil when the cell fuzzes or does
+	// not hammer.
+	Pattern *pattern.Pattern
+	// Budget bounds the cell's workload.
+	Budget Budget
+	// Aux carries experiment-specific data beyond the declarative
+	// fields.
+	Aux any
+}
+
+// Spec declaratively describes one campaign: a named grid of
+// independent cells, how to execute one cell, and how to assemble the
+// per-cell results into the final artifact.
+type Spec struct {
+	// Name is the campaign's registry name (e.g. "table6").
+	Name string
+	// Kind classifies the regenerated artifact.
+	Kind Kind
+	// Seed is the campaign base seed; per-cell seeds derive from
+	// (Seed, Name, Cell.Key) via stats.SplitSeed.
+	Seed int64
+	// Cells is the grid, in rendering order: the Runner preserves this
+	// order in its results regardless of completion order.
+	Cells []Cell
+	// Exec runs one cell with its derived seed and returns the cell's
+	// result. It is called from worker goroutines and must not share
+	// mutable state across cells.
+	Exec func(c Cell, seed int64) (any, error)
+	// Gather assembles the index-ordered per-cell results into the
+	// campaign result (typically a Renderer). When nil the Runner
+	// returns the raw slice.
+	Gather func(results []any) any
+}
+
+// CellSeed returns the deterministic seed for the cell with the given
+// key: a pure function of (Seed, Name, key), independent of worker
+// count and scheduling.
+func (s Spec) CellSeed(key string) int64 {
+	return stats.SplitSeed(s.Seed, s.Name+"/"+key)
+}
+
+// validate reports structural misuse of a Spec before any cell runs.
+func (s Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("campaign: spec has no name")
+	}
+	if s.Exec == nil {
+		return fmt.Errorf("campaign %s: spec has no Exec", s.Name)
+	}
+	seen := make(map[string]struct{}, len(s.Cells))
+	for i, c := range s.Cells {
+		if c.Key == "" {
+			return fmt.Errorf("campaign %s: cell %d has an empty key", s.Name, i)
+		}
+		if _, dup := seen[c.Key]; dup {
+			return fmt.Errorf("campaign %s: duplicate cell key %q", s.Name, c.Key)
+		}
+		seen[c.Key] = struct{}{}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runner executes a Spec's cells across a bounded worker pool.
+//
+// The zero value is ready to use and sizes the pool to GOMAXPROCS.
+// Results are bit-identical for every worker count: cell seeds derive
+// from stable keys, results land at their cell's index, and Gather runs
+// once after all cells complete.
+type Runner struct {
+	// Workers bounds the number of cells executing concurrently;
+	// values <= 0 mean GOMAXPROCS.
+	Workers int
+}
+
+// Outcome is one campaign execution.
+type Outcome struct {
+	// Name echoes the Spec.
+	Name string
+	// Workers is the resolved pool size the run used.
+	Workers int
+	// Results holds the per-cell results in cell order.
+	Results []any
+	// Result is Gather's assembly of Results (Results itself when the
+	// Spec has no Gather).
+	Result any
+	// Wall is the campaign's wall-clock duration — the only field that
+	// varies with Workers.
+	Wall time.Duration
+}
+
+// Run executes every cell of the spec and gathers the results. A cell
+// failure (returned error or panic) does not stop the other cells; all
+// failures are joined into the returned error, each naming its cell.
+func (r Runner) Run(s Spec) (*Outcome, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	n := len(s.Cells)
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	start := time.Now()
+	results := make([]any, n)
+	cellErrs := make([]error, n)
+	if workers == 1 {
+		for i := range s.Cells {
+			results[i], cellErrs[i] = runCell(s, i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], cellErrs[i] = runCell(s, i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	var errs []error
+	for i, err := range cellErrs {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("campaign %s: cell %s: %w", s.Name, s.Cells[i].Key, err))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	out := &Outcome{
+		Name:    s.Name,
+		Workers: workers,
+		Results: results,
+		Wall:    time.Since(start),
+	}
+	if s.Gather != nil {
+		out.Result = s.Gather(results)
+	} else {
+		out.Result = results
+	}
+	return out, nil
+}
+
+// runCell executes one cell, converting a panic into an error so a
+// failing cell reports its key instead of killing the process from a
+// worker goroutine.
+func runCell(s Spec, i int) (result any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	c := s.Cells[i]
+	return s.Exec(c, s.CellSeed(c.Key))
+}

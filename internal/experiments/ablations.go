@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rhohammer/internal/arch"
+	"rhohammer/internal/campaign"
 	"rhohammer/internal/hammer"
 	"rhohammer/internal/pattern"
 	"rhohammer/internal/sweep"
@@ -29,44 +30,50 @@ type AblationResult struct{ Rows []AblationRow }
 // AblationCounterSpec sweeps the best pattern under the four
 // obfuscation/NOP combinations.
 func AblationCounterSpec(cfg Config) *AblationResult {
-	cfg = cfg.withDefaults()
-	out := &AblationResult{}
-	duration := float64(cfg.scaled(150, 100)) * 1e6
-	locations := cfg.scaled(6, 3)
-	type rowSpec struct {
-		a    *arch.Arch
-		name string
-		hcfg hammer.Config
+	return runSpec[*AblationResult](cfg, "ablation-cs")
+}
+
+func ablationCSSpec(cfg Config) campaign.Spec {
+	budget := campaign.Budget{
+		Locations:  cfg.scaled(6, 3),
+		DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
 	}
-	var specs []rowSpec
+	var cells []campaign.Cell
 	for _, a := range []*arch.Arch{arch.AlderLake(), arch.RaptorLake()} {
 		nops := TunedNops(a)
-		specs = append(specs,
-			rowSpec{a, "neither", hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1}},
-			rowSpec{a, "obfuscation only", hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1, Obfuscate: true}},
-			rowSpec{a, "nops only", hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1, Barrier: hammer.BarrierNop, Nops: nops}},
-			rowSpec{a, "both (rhoHammer)", hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1, Barrier: hammer.BarrierNop, Nops: nops, Obfuscate: true}},
-		)
+		for _, v := range []struct {
+			name string
+			hcfg hammer.Config
+		}{
+			{"neither", hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1}},
+			{"obfuscation only", hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1, Obfuscate: true}},
+			{"nops only", hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1, Barrier: hammer.BarrierNop, Nops: nops}},
+			{"both (rhoHammer)", hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1, Barrier: hammer.BarrierNop, Nops: nops, Obfuscate: true}},
+		} {
+			cells = append(cells, campaign.Cell{
+				Key:  a.Name + "/" + v.name,
+				Arch: a, DIMM: DefaultDIMM(), Config: v.hcfg,
+				Pattern: pattern.KnownGood(), Budget: budget, Aux: v.name,
+			})
+		}
 	}
-	out.Rows = parMap(len(specs), func(i int) AblationRow {
-		sp := specs[i]
-		s := newSession(sp.a, DefaultDIMM(), cfg.Seed)
-		res, err := sweep.Run(s, pattern.KnownGood(), sp.hcfg, sweep.Options{
-			Locations: locations, DurationPerLocationNS: duration, Bank: -1,
-		})
-		if err != nil {
-			panic(fmt.Sprintf("ablation: %v", err))
-		}
-		var miss float64
-		// Measure the configuration's ordering directly with a short
-		// probe at a fresh location.
-		probe, err := s.HammerPatternFor(pattern.KnownGood(), sp.hcfg, 0, 30000, 20e6)
-		if err == nil {
-			miss = probe.MissRate()
-		}
-		return AblationRow{Arch: sp.a.Name, Variant: sp.name, Flips: res.TotalFlips, MissRate: miss}
-	})
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: sweepCell(func(c campaign.Cell, s *hammer.Session, res sweep.Result) any {
+			var miss float64
+			// Measure the configuration's ordering directly with a short
+			// probe at a fresh location.
+			probe, err := s.HammerPatternFor(c.Pattern, c.Config, 0, 30000, 20e6)
+			if err == nil {
+				miss = probe.MissRate()
+			}
+			return AblationRow{
+				Arch: c.Arch.Name, Variant: c.Aux.(string),
+				Flips: res.TotalFlips, MissRate: miss,
+			}
+		}),
+		Gather: func(rs []any) any { return &AblationResult{Rows: gather[AblationRow](rs)} },
+	}
 }
 
 // Render implements Renderer.
@@ -93,24 +100,34 @@ type SamplerAblationResult struct {
 
 // AblationSamplerSize sweeps the DIMM's TRR sampler capacity.
 func AblationSamplerSize(cfg Config) *SamplerAblationResult {
-	cfg = cfg.withDefaults()
+	return runSpec[*SamplerAblationResult](cfg, "ablation-sampler")
+}
+
+func ablationSamplerSpec(cfg Config) campaign.Spec {
 	a := arch.CometLake()
-	out := &SamplerAblationResult{Arch: a.Name}
-	duration := float64(cfg.scaled(150, 100)) * 1e6
-	locations := cfg.scaled(4, 2)
+	budget := campaign.Budget{
+		Locations:  cfg.scaled(4, 2),
+		DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
+	}
+	var cells []campaign.Cell
 	for _, size := range []int{2, 4, 6, 10, 16, 24} {
 		d := DefaultDIMM()
 		d.TRRSamplerSize = size
-		s := newSession(a, d, cfg.Seed)
-		res, err := sweep.Run(s, pattern.KnownGood(), RhoS(a), sweep.Options{
-			Locations: locations, DurationPerLocationNS: duration, Bank: -1,
+		cells = append(cells, campaign.Cell{
+			Key:  fmt.Sprintf("sampler-%d", size),
+			Arch: a, DIMM: d, Config: RhoS(a),
+			Pattern: pattern.KnownGood(), Budget: budget, Aux: size,
 		})
-		if err != nil {
-			panic(fmt.Sprintf("sampler ablation: %v", err))
-		}
-		out.Rows = append(out.Rows, SamplerAblationRow{SamplerSize: size, Flips: res.TotalFlips})
 	}
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: sweepCell(func(c campaign.Cell, _ *hammer.Session, res sweep.Result) any {
+			return SamplerAblationRow{SamplerSize: c.Aux.(int), Flips: res.TotalFlips}
+		}),
+		Gather: func(rs []any) any {
+			return &SamplerAblationResult{Arch: a.Name, Rows: gather[SamplerAblationRow](rs)}
+		},
+	}
 }
 
 // Render implements Renderer.

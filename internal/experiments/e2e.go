@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"rhohammer/internal/arch"
+	"rhohammer/internal/campaign"
 	"rhohammer/internal/exploit"
+	"rhohammer/internal/hammer"
 )
 
 // E2ERow is one architecture's end-to-end attack outcome.
@@ -25,32 +27,51 @@ type E2EResult struct{ Rows []E2ERow }
 
 // E2E performs the full templating + massaging + exploitation pipeline
 // on Alder and Raptor Lake (the platforms the paper demonstrates).
-func E2E(cfg Config) *E2EResult {
-	cfg = cfg.withDefaults()
-	out := &E2EResult{}
+func E2E(cfg Config) *E2EResult { return runSpec[*E2EResult](cfg, "e2e") }
+
+func e2eSpec(cfg Config) campaign.Spec {
+	var cells []campaign.Cell
 	for _, a := range []*arch.Arch{arch.AlderLake(), arch.RaptorLake()} {
-		s := newSession(a, DefaultDIMM(), cfg.Seed)
-		res, err := exploit.Run(s, exploit.Options{
-			Config:                RhoS(a),
-			Regions:               cfg.scaled(12, 6),
-			DurationPerLocationNS: float64(cfg.scaled(150, 100)) * 1e6,
+		cells = append(cells, campaign.Cell{
+			Key: a.Name, Arch: a, DIMM: DefaultDIMM(),
+			Config: RhoS(a),
+			Budget: campaign.Budget{
+				Locations:  cfg.scaled(12, 6),
+				DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
+			},
 		})
-		row := E2ERow{
-			Arch:         a.Name,
-			TotalFlips:   res.TotalFlips,
-			Exploitable:  len(res.Exploitable),
-			TemplateSecs: res.TemplateTimeNS / 1e9,
-			EndToEndSecs: res.TotalTimeNS() / 1e9,
-			Attempts:     res.Attempts,
-			Success:      res.Success,
-		}
-		if err != nil && !res.Success {
-			row.Success = false
-		}
-		row.CorruptPTEAddr = res.VictimPTEAddr
-		out.Rows = append(out.Rows, row)
 	}
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			s, err := hammer.NewSession(c.Arch, c.DIMM, seed)
+			if err != nil {
+				return nil, err
+			}
+			// A failed exploit attempt is a reportable row, not a cell
+			// error — the paper's table includes failures.
+			res, rerr := exploit.Run(s, exploit.Options{
+				Config:                c.Config,
+				Regions:               c.Budget.Locations,
+				DurationPerLocationNS: c.Budget.DurationNS,
+			})
+			row := E2ERow{
+				Arch:         c.Arch.Name,
+				TotalFlips:   res.TotalFlips,
+				Exploitable:  len(res.Exploitable),
+				TemplateSecs: res.TemplateTimeNS / 1e9,
+				EndToEndSecs: res.TotalTimeNS() / 1e9,
+				Attempts:     res.Attempts,
+				Success:      res.Success,
+			}
+			if rerr != nil && !res.Success {
+				row.Success = false
+			}
+			row.CorruptPTEAddr = res.VictimPTEAddr
+			return row, nil
+		},
+		Gather: func(rs []any) any { return &E2EResult{Rows: gather[E2ERow](rs)} },
+	}
 }
 
 // Render implements Renderer.

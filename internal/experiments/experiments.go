@@ -27,11 +27,17 @@ import (
 // Config selects the effort and determinism of an experiment run.
 type Config struct {
 	// Seed fixes all randomness (DIMM vulnerability maps, speculation,
-	// fuzzing). The same seed reproduces identical numbers.
+	// fuzzing). The same seed reproduces identical numbers; each
+	// campaign cell derives its own stream from the seed and its stable
+	// cell key (see internal/campaign).
 	Seed int64
 	// Scale multiplies the default (CI-sized) workload budgets; 1 is
 	// the fast default, larger values approach the paper's budgets.
 	Scale float64
+	// Workers bounds the campaign runner's worker pool; <= 0 means
+	// GOMAXPROCS. Results are bit-identical for every value — Workers
+	// only changes wall-clock time.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,55 +91,28 @@ func newMeasurerFor(a *arch.Arch, d *arch.DIMM, seed int64) (*timing.Measurer, *
 	return timing.NewMeasurer(ctrl, r), mem.NewPool(truth.Size(), 0.7, r)
 }
 
-// TunedNops returns the counter-speculation NOP count ρHammer's tuning
-// phase converges to on each architecture for single-bank hammering.
-// The optimum sits where ordering is restored AND the per-bank access
-// pace clears the bank's activation cycle (so prefetches stop merging
-// in the fill buffers); the attack discovers it with TuneNops once per
-// target, and TestTunedNopsNearOptimum verifies these constants track
-// the tuning phase.
-func TunedNops(a *arch.Arch) int {
-	switch a.Generation {
-	case 10:
-		return 190
-	case 11:
-		return 200
-	case 12:
-		return 230
-	default:
-		return 260
-	}
-}
+// TunedNops returns the tuned single-bank counter-speculation NOP count
+// for an architecture. The constants live in internal/hammer (the same
+// table Attack.RecommendedSingleBankConfig consumes);
+// TestTunedNopsNearOptimum verifies they track the tuning phase.
+func TunedNops(a *arch.Arch) int { return hammer.TunedNops(a) }
 
 // TunedNopsMulti is the equivalent optimum for multi-bank hammering:
 // bank interleaving already spreads each bank's accesses, so far fewer
 // NOPs are needed before the rate penalty dominates.
-func TunedNopsMulti(a *arch.Arch) int {
-	switch a.Generation {
-	case 10:
-		return 70
-	case 11:
-		return 80
-	case 12:
-		return 95
-	default:
-		return 110
-	}
-}
+func TunedNopsMulti(a *arch.Arch) int { return hammer.TunedNopsMulti(a) }
 
 // OptimalBanks is the multi-bank width fuzzing identifies as optimal
 // (Fig. 9 peaks at 3 banks on Comet Lake; the newer platforms behave
 // alike on this substrate).
-func OptimalBanks(a *arch.Arch) int { return 3 }
+func OptimalBanks(a *arch.Arch) int { return hammer.OptimalBanks(a) }
 
 // RhoS returns the ρHammer single-bank configuration for an
 // architecture: prefetch hammering with counter-speculation.
-func RhoS(a *arch.Arch) hammer.Config { return hammer.RhoHammer(a, 1, TunedNops(a)) }
+func RhoS(a *arch.Arch) hammer.Config { return hammer.RecommendedSingleBank(a) }
 
 // RhoM returns the ρHammer optimal multi-bank configuration.
-func RhoM(a *arch.Arch) hammer.Config {
-	return hammer.RhoHammer(a, OptimalBanks(a), TunedNopsMulti(a))
-}
+func RhoM(a *arch.Arch) hammer.Config { return hammer.Recommended(a) }
 
 // BaselineS returns the load-based single-bank baseline
 // (Blacksmith-style).
@@ -147,7 +126,7 @@ func BaselineM(a *arch.Arch) hammer.Config {
 	return c
 }
 
-// instrForName maps Fig. 6 series names to hammer instructions.
+// instrNames maps Fig. 6 series names to hammer instructions.
 var instrNames = []struct {
 	Name  string
 	Instr hammer.Instr

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rhohammer/internal/arch"
+	"rhohammer/internal/campaign"
 	"rhohammer/internal/cpu"
 	"rhohammer/internal/hammer"
 	"rhohammer/internal/pattern"
@@ -25,12 +26,22 @@ type Fig3Result struct {
 // Fig3 reproduces the threshold-finding density plot: random address
 // pairs from the allocated pool, their latency density, the two
 // assembly areas, and the threshold between them.
-func Fig3(cfg Config) *Fig3Result {
-	cfg = cfg.withDefaults()
+func Fig3(cfg Config) *Fig3Result { return runSpec[*Fig3Result](cfg, "fig3") }
+
+func fig3Spec(cfg Config) campaign.Spec {
 	a := arch.CometLake()
-	meas, pool := newMeasurerFor(a, DefaultDIMM(), cfg.Seed)
-	res := meas.FindThreshold(pool.RandomPair, cfg.scaled(3000, 800), 8)
-	return &Fig3Result{Arch: a.Name, Threshold: res}
+	return campaign.Spec{
+		Cells: []campaign.Cell{{
+			Key: a.Name, Arch: a, DIMM: DefaultDIMM(),
+			Budget: campaign.Budget{Probes: cfg.scaled(3000, 800)},
+		}},
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			meas, pool := newMeasurerFor(c.Arch, c.DIMM, seed)
+			res := meas.FindThreshold(pool.RandomPair, c.Budget.Probes, 8)
+			return &Fig3Result{Arch: c.Arch.Name, Threshold: res}, nil
+		},
+		Gather: single,
+	}
 }
 
 // Render implements Renderer.
@@ -51,46 +62,70 @@ type Fig4Result struct {
 	Thres  []float64
 }
 
+// fig4ArchMap is one architecture's heatmap — the per-cell result the
+// gather step assembles into a Fig4Result.
+type fig4ArchMap struct {
+	arch   string
+	bits   []uint
+	matrix map[[2]uint]float64
+	thres  float64
+}
+
 // Fig4 measures T_SBDR(M, {bx, by}) for all bit pairs on the
 // traditional (Comet Lake) and recent (Raptor Lake) mappings — the
 // heatmaps whose contrast motivates the layout-agnostic algorithm.
-func Fig4(cfg Config) *Fig4Result {
-	cfg = cfg.withDefaults()
-	out := &Fig4Result{}
-	rounds := cfg.scaled(10, 4)
+func Fig4(cfg Config) *Fig4Result { return runSpec[*Fig4Result](cfg, "fig4") }
+
+func fig4Spec(cfg Config) campaign.Spec {
+	var cells []campaign.Cell
 	for _, a := range []*arch.Arch{arch.CometLake(), arch.RaptorLake()} {
-		meas, pool := newMeasurerFor(a, DefaultDIMM(), cfg.Seed)
-		thres := meas.FindThreshold(pool.RandomPair, 600, 8)
-		maxBit := uint(33)
-		var bits []uint
-		for b := uint(6); b <= maxBit; b++ {
-			bits = append(bits, b)
-		}
-		m := map[[2]uint]float64{}
-		for i := 0; i < len(bits); i++ {
-			for j := i + 1; j < len(bits); j++ {
-				mask := uint64(1)<<bits[i] | uint64(1)<<bits[j]
-				var sum float64
-				n := 0
-				for k := 0; k < 4; k++ {
-					x, y, ok := pool.PairDifferingIn(mask)
-					if !ok {
-						continue
+		cells = append(cells, campaign.Cell{
+			Key: a.Name, Arch: a, DIMM: DefaultDIMM(),
+			Budget: campaign.Budget{Probes: cfg.scaled(10, 4)},
+		})
+	}
+	return campaign.Spec{
+		Cells: cells,
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			meas, pool := newMeasurerFor(c.Arch, c.DIMM, seed)
+			thres := meas.FindThreshold(pool.RandomPair, 600, 8)
+			maxBit := uint(33)
+			var bits []uint
+			for b := uint(6); b <= maxBit; b++ {
+				bits = append(bits, b)
+			}
+			m := map[[2]uint]float64{}
+			for i := 0; i < len(bits); i++ {
+				for j := i + 1; j < len(bits); j++ {
+					mask := uint64(1)<<bits[i] | uint64(1)<<bits[j]
+					var sum float64
+					n := 0
+					for k := 0; k < 4; k++ {
+						x, y, ok := pool.PairDifferingIn(mask)
+						if !ok {
+							continue
+						}
+						sum += meas.TimePair(x, y, c.Budget.Probes)
+						n++
 					}
-					sum += meas.TimePair(x, y, rounds)
-					n++
-				}
-				if n > 0 {
-					m[[2]uint{bits[i], bits[j]}] = sum / float64(n)
+					if n > 0 {
+						m[[2]uint{bits[i], bits[j]}] = sum / float64(n)
+					}
 				}
 			}
-		}
-		out.Archs = append(out.Archs, a.Name)
-		out.Bits = bits
-		out.Matrix = append(out.Matrix, m)
-		out.Thres = append(out.Thres, thres.Threshold)
+			return fig4ArchMap{arch: c.Arch.Name, bits: bits, matrix: m, thres: thres.Threshold}, nil
+		},
+		Gather: func(rs []any) any {
+			out := &Fig4Result{}
+			for _, am := range gather[fig4ArchMap](rs) {
+				out.Archs = append(out.Archs, am.arch)
+				out.Bits = am.bits
+				out.Matrix = append(out.Matrix, am.matrix)
+				out.Thres = append(out.Thres, am.thres)
+			}
+			return out
+		},
 	}
-	return out
 }
 
 // SlowPairs returns the bit pairs measuring above threshold for arch
@@ -146,32 +181,53 @@ type Fig6Result struct{ Cells []Fig6Cell }
 // Fig6 executes random patterns to a fixed access budget with each
 // hammer instruction (load and the four prefetch hints) and reports the
 // average completion time — prefetching is consistently ~2x faster.
-func Fig6(cfg Config) *Fig6Result {
-	cfg = cfg.withDefaults()
-	out := &Fig6Result{}
-	patterns := cfg.scaled(10, 4)
-	acts := cfg.scaled(500_000, 100_000)
+func Fig6(cfg Config) *Fig6Result { return runSpec[*Fig6Result](cfg, "fig6") }
+
+func fig6Spec(cfg Config) campaign.Spec {
+	budget := campaign.Budget{
+		Patterns:    cfg.scaled(10, 4),
+		Activations: cfg.scaled(500_000, 100_000),
+	}
+	var cells []campaign.Cell
 	for _, a := range arch.All() {
 		for _, in := range instrNames {
-			s := newSession(a, DefaultDIMM(), cfg.Seed)
-			fz := pattern.NewFuzzer(pattern.FuzzParams{}, stats.NewRand(cfg.Seed))
-			var total float64
-			for p := 0; p < patterns; p++ {
-				pat := fz.Next()
-				hcfg := hammer.Config{Instr: in.Instr, Banks: 1}
-				res, err := s.HammerPattern(pat, hcfg, p%s.Map.Banks(), uint64(600+p*128), acts)
-				if err != nil {
-					panic(fmt.Sprintf("fig6: %v", err))
-				}
-				total += res.TimeNS
-			}
-			out.Cells = append(out.Cells, Fig6Cell{
-				Arch: a.Name, Instr: in.Name,
-				MeanTimeMS: total / float64(patterns) / 1e6,
+			cells = append(cells, campaign.Cell{
+				Key:  a.Name + "/" + in.Name,
+				Arch: a, DIMM: DefaultDIMM(),
+				Config: hammer.Config{Instr: in.Instr, Banks: 1},
+				Budget: budget, Aux: in.Name,
 			})
 		}
 	}
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: func(c campaign.Cell, _ int64) (any, error) {
+			// Controlled comparison: every instruction on an arch must
+			// time the SAME session and pattern stream (the paper varies
+			// only the hammer instruction), so the streams derive from
+			// the arch alone, not the per-cell seed.
+			seed := stats.SplitSeed(cfg.Seed, "fig6/"+c.Arch.Name)
+			s, err := hammer.NewSession(c.Arch, c.DIMM, seed)
+			if err != nil {
+				return nil, err
+			}
+			fz := pattern.NewFuzzer(pattern.FuzzParams{}, stats.NewRand(stats.SplitSeed(seed, "fuzzer")))
+			var total float64
+			for p := 0; p < c.Budget.Patterns; p++ {
+				pat := fz.Next()
+				res, err := s.HammerPattern(pat, c.Config, p%s.Map.Banks(), uint64(600+p*128), c.Budget.Activations)
+				if err != nil {
+					return nil, err
+				}
+				total += res.TimeNS
+			}
+			return Fig6Cell{
+				Arch: c.Arch.Name, Instr: c.Aux.(string),
+				MeanTimeMS: total / float64(c.Budget.Patterns) / 1e6,
+			}, nil
+		},
+		Gather: func(rs []any) any { return &Fig6Result{Cells: gather[Fig6Cell](rs)} },
+	}
 }
 
 // Render implements Renderer.
@@ -203,29 +259,44 @@ type Fig8Result struct {
 // Fig8 measures cache miss rate and attack time for the C++/AsmJit
 // primitives with load/prefetch hammering across 1-8 banks on Comet
 // Lake.
-func Fig8(cfg Config) *Fig8Result {
-	cfg = cfg.withDefaults()
+func Fig8(cfg Config) *Fig8Result { return runSpec[*Fig8Result](cfg, "fig8") }
+
+func fig8Spec(cfg Config) campaign.Spec {
 	a := arch.CometLake()
-	out := &Fig8Result{Arch: a.Name}
-	acts := cfg.scaled(400_000, 100_000)
-	pat := pattern.KnownGood()
+	budget := campaign.Budget{Activations: cfg.scaled(400_000, 100_000)}
+	var cells []campaign.Cell
 	for _, style := range []cpu.Style{cpu.StyleCPP, cpu.StyleAsmJit} {
 		for _, in := range []hammer.Instr{hammer.InstrLoad, hammer.InstrPrefetchT2} {
 			for banks := 1; banks <= 8; banks++ {
-				s := newSession(a, DefaultDIMM(), cfg.Seed)
-				hcfg := hammer.Config{Instr: in, Style: style, Banks: banks}
-				res, err := s.HammerPattern(pat, hcfg, 0, 700, acts)
-				if err != nil {
-					panic(fmt.Sprintf("fig8: %v", err))
-				}
-				out.Points = append(out.Points, Fig8Point{
-					Style: style.String(), Instr: in.String(), Banks: banks,
-					MissRate: res.MissRate(), TimeMS: res.TimeNS / 1e6,
+				cells = append(cells, campaign.Cell{
+					Key:  fmt.Sprintf("%s/%s/%d", style, in, banks),
+					Arch: a, DIMM: DefaultDIMM(),
+					Config:  hammer.Config{Instr: in, Style: style, Banks: banks},
+					Pattern: pattern.KnownGood(), Budget: budget,
 				})
 			}
 		}
 	}
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			s, err := hammer.NewSession(c.Arch, c.DIMM, seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.HammerPattern(c.Pattern, c.Config, 0, 700, c.Budget.Activations)
+			if err != nil {
+				return nil, err
+			}
+			return Fig8Point{
+				Style: c.Config.Style.String(), Instr: c.Config.Instr.String(), Banks: c.Config.Banks,
+				MissRate: res.MissRate(), TimeMS: res.TimeNS / 1e6,
+			}, nil
+		},
+		Gather: func(rs []any) any {
+			return &Fig8Result{Arch: a.Name, Points: gather[Fig8Point](rs)}
+		},
+	}
 }
 
 // Render implements Renderer.
@@ -253,37 +324,41 @@ type Fig9Result struct{ Cells []Fig9Cell }
 // Fig9 fuzzes with load- and prefetch-based hammering across 1-4 banks
 // on all four architectures — without counter-speculation, matching the
 // §4.3 setting where Alder/Raptor Lake still yield nothing.
-func Fig9(cfg Config) *Fig9Result {
-	cfg = cfg.withDefaults()
-	out := &Fig9Result{}
-	opt := hammer.FuzzOptions{
+func Fig9(cfg Config) *Fig9Result { return runSpec[*Fig9Result](cfg, "fig9") }
+
+func fig9Spec(cfg Config) campaign.Spec {
+	budget := campaign.Budget{
 		Patterns:   cfg.scaled(10, 5),
 		Locations:  1,
 		DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
 	}
-	type cellSpec struct {
-		a     *arch.Arch
-		instr hammer.Instr
-		banks int
-	}
-	var specs []cellSpec
+	var cells []campaign.Cell
 	for _, a := range arch.All() {
 		for _, in := range []hammer.Instr{hammer.InstrLoad, hammer.InstrPrefetchT2} {
 			for banks := 1; banks <= 4; banks++ {
-				specs = append(specs, cellSpec{a, in, banks})
+				cells = append(cells, campaign.Cell{
+					Key:  fmt.Sprintf("%s/%s/%d", a.Name, in, banks),
+					Arch: a, DIMM: DefaultDIMM(),
+					Config: hammer.Config{Instr: in, Banks: banks},
+					Budget: budget,
+				})
 			}
 		}
 	}
-	out.Cells = parMap(len(specs), func(i int) Fig9Cell {
-		sp := specs[i]
-		s := newSession(sp.a, DefaultDIMM(), cfg.Seed)
-		rep, err := s.Fuzz(hammer.Config{Instr: sp.instr, Banks: sp.banks}, opt)
-		if err != nil {
-			panic(fmt.Sprintf("fig9: %v", err))
-		}
-		return Fig9Cell{Arch: sp.a.Name, Instr: sp.instr.String(), Banks: sp.banks, Flips: rep.TotalFlips}
-	})
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			rep, err := fuzzCell(c, seed)
+			if err != nil {
+				return nil, err
+			}
+			return Fig9Cell{
+				Arch: c.Arch.Name, Instr: c.Config.Instr.String(),
+				Banks: c.Config.Banks, Flips: rep.TotalFlips,
+			}, nil
+		},
+		Gather: func(rs []any) any { return &Fig9Result{Cells: gather[Fig9Cell](rs)} },
+	}
 }
 
 // Render implements Renderer.
@@ -307,20 +382,36 @@ type Fig10Result struct {
 // Fig10 sweeps the pseudo-barrier NOP count over [0, 1000] with the
 // best pattern on Raptor Lake: zero flips at both extremes, an optimum
 // in the interior.
-func Fig10(cfg Config) *Fig10Result {
-	cfg = cfg.withDefaults()
+func Fig10(cfg Config) *Fig10Result { return runSpec[*Fig10Result](cfg, "fig10") }
+
+func fig10Spec(cfg Config) campaign.Spec {
 	a := arch.RaptorLake()
-	s := newSession(a, DefaultDIMM(), cfg.Seed)
-	base := hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1, Obfuscate: true}
-	tune, err := s.TuneNops(pattern.KnownGood(), base, 1000, 50,
-		float64(cfg.scaled(150, 100))*1e6, cfg.scaled(2, 1))
-	if err != nil {
-		panic(fmt.Sprintf("fig10: %v", err))
-	}
-	return &Fig10Result{
-		Arch:  a.Name,
-		Curve: tune.Curve,
-		Best:  hammer.TunePoint{Nops: tune.BestNops, Flips: tune.BestFlips},
+	return campaign.Spec{
+		Cells: []campaign.Cell{{
+			Key: a.Name, Arch: a, DIMM: DefaultDIMM(),
+			Config:  hammer.Config{Instr: hammer.InstrPrefetchT2, Banks: 1, Obfuscate: true},
+			Pattern: pattern.KnownGood(),
+			Budget: campaign.Budget{
+				DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
+				Runs:       cfg.scaled(2, 1),
+			},
+		}},
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			s, err := hammer.NewSession(c.Arch, c.DIMM, seed)
+			if err != nil {
+				return nil, err
+			}
+			tune, err := s.TuneNops(c.Pattern, c.Config, 1000, 50, c.Budget.DurationNS, c.Budget.Runs)
+			if err != nil {
+				return nil, err
+			}
+			return &Fig10Result{
+				Arch:  c.Arch.Name,
+				Curve: tune.Curve,
+				Best:  hammer.TunePoint{Nops: tune.BestNops, Flips: tune.BestFlips},
+			}, nil
+		},
+		Gather: single,
 	}
 }
 
@@ -367,40 +458,39 @@ type Fig11Result struct{ Series []Fig11Series }
 // producing the cumulative flip series and the per-minute rates the
 // paper headlines (112x / 47x on Comet/Rocket; baseline zero on
 // Alder/Raptor).
-func Fig11(cfg Config) *Fig11Result {
-	cfg = cfg.withDefaults()
-	out := &Fig11Result{}
-	opt := sweep.Options{
-		Locations:             cfg.scaled(24, 8),
-		DurationPerLocationNS: float64(cfg.scaled(150, 100)) * 1e6,
-		Bank:                  -1,
+func Fig11(cfg Config) *Fig11Result { return runSpec[*Fig11Result](cfg, "fig11") }
+
+func fig11Spec(cfg Config) campaign.Spec {
+	budget := campaign.Budget{
+		Locations:  cfg.scaled(24, 8),
+		DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
 	}
-	pat := pattern.KnownGood()
-	type seriesSpec struct {
-		a    *arch.Arch
-		name string
-		hcfg hammer.Config
-	}
-	var specs []seriesSpec
+	var cells []campaign.Cell
 	for _, a := range arch.All() {
-		specs = append(specs,
-			seriesSpec{a, "baseline", BaselineS()},
-			seriesSpec{a, "rhoHammer", RhoM(a)},
-		)
+		for _, st := range []struct {
+			label string
+			hcfg  hammer.Config
+		}{
+			{"baseline", BaselineS()},
+			{"rhoHammer", RhoM(a)},
+		} {
+			cells = append(cells, campaign.Cell{
+				Key:  a.Name + "/" + st.label,
+				Arch: a, DIMM: DefaultDIMM(), Config: st.hcfg,
+				Pattern: pattern.KnownGood(), Budget: budget, Aux: st.label,
+			})
+		}
 	}
-	out.Series = parMap(len(specs), func(i int) Fig11Series {
-		sp := specs[i]
-		s := newSession(sp.a, DefaultDIMM(), cfg.Seed)
-		res, err := sweep.Run(s, pat, sp.hcfg, opt)
-		if err != nil {
-			panic(fmt.Sprintf("fig11: %v", err))
-		}
-		return Fig11Series{
-			Arch: sp.a.Name, Strategy: sp.name,
-			Points: res.Series, Total: res.TotalFlips, PerMin: res.FlipsPerMinute(),
-		}
-	})
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: sweepCell(func(c campaign.Cell, _ *hammer.Session, res sweep.Result) any {
+			return Fig11Series{
+				Arch: c.Arch.Name, Strategy: c.Aux.(string),
+				Points: res.Series, Total: res.TotalFlips, PerMin: res.FlipsPerMinute(),
+			}
+		}),
+		Gather: func(rs []any) any { return &Fig11Result{Series: gather[Fig11Series](rs)} },
+	}
 }
 
 // Render implements Renderer.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rhohammer/internal/arch"
+	"rhohammer/internal/campaign"
 	"rhohammer/internal/hammer"
 	"rhohammer/internal/pattern"
 	"rhohammer/internal/sweep"
@@ -23,38 +24,37 @@ type MitigationRow struct {
 // against ρHammer's strongest configuration on Raptor Lake.
 type MitigationsResult struct{ Rows []MitigationRow }
 
+// mitigationSetup carries a cell's defense knobs through Aux: the
+// session-level switches Exec must flip after construction.
+type mitigationSetup struct {
+	defense  string
+	strategy string
+	ptrr     bool
+	rowSwap  int // swap period; 0 disables
+}
+
 // Mitigations runs ρHammer and the baseline against each §6 defense.
 func Mitigations(cfg Config) *MitigationsResult {
-	cfg = cfg.withDefaults()
+	return runSpec[*MitigationsResult](cfg, "mitigations")
+}
+
+func mitigationsSpec(cfg Config) campaign.Spec {
 	a := arch.RaptorLake()
-	out := &MitigationsResult{}
-	duration := float64(cfg.scaled(150, 100)) * 1e6
-	locations := cfg.scaled(6, 3)
-
-	type setup struct {
-		name  string
-		build func() *hammer.Session
-		dimm  *arch.DIMM
+	budget := campaign.Budget{
+		Locations:  cfg.scaled(6, 3),
+		DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
 	}
-	setups := []setup{
-		{"DDR4 TRR only", func() *hammer.Session {
-			return newSession(a, DefaultDIMM(), cfg.Seed)
-		}, DefaultDIMM()},
-		{"DDR4 + pTRR (BIOS)", func() *hammer.Session {
-			s := newSession(a, DefaultDIMM(), cfg.Seed)
-			s.EnablePTRR(true)
-			return s
-		}, DefaultDIMM()},
-		{"DDR4 + row swap", func() *hammer.Session {
-			s := newSession(a, DefaultDIMM(), cfg.Seed)
-			s.Dev.EnableRowSwap(4096)
-			return s
-		}, DefaultDIMM()},
-		{"DDR5 (RFM)", func() *hammer.Session {
-			return newSession(a, arch.DIMMD1(), cfg.Seed)
-		}, arch.DIMMD1()},
+	setups := []struct {
+		name    string
+		dimm    *arch.DIMM
+		ptrr    bool
+		rowSwap int
+	}{
+		{"DDR4 TRR only", DefaultDIMM(), false, 0},
+		{"DDR4 + pTRR (BIOS)", DefaultDIMM(), true, 0},
+		{"DDR4 + row swap", DefaultDIMM(), false, 4096},
+		{"DDR5 (RFM)", arch.DIMMD1(), false, 0},
 	}
-
 	strategies := []struct {
 		name string
 		cfg  hammer.Config
@@ -62,38 +62,54 @@ func Mitigations(cfg Config) *MitigationsResult {
 		{"baseline", BaselineS()},
 		{"rhoHammer", RhoS(a)},
 	}
-	type rowSpec struct {
-		setupIdx, stratIdx int
-	}
-	var specs []rowSpec
-	for si := range setups {
-		for gi := range strategies {
-			specs = append(specs, rowSpec{si, gi})
+	var cells []campaign.Cell
+	for _, st := range setups {
+		for _, strat := range strategies {
+			cells = append(cells, campaign.Cell{
+				Key:  st.name + "/" + strat.name,
+				Arch: a, DIMM: st.dimm, Config: strat.cfg,
+				Pattern: pattern.KnownGood(), Budget: budget,
+				Aux: mitigationSetup{
+					defense: st.name, strategy: strat.name,
+					ptrr: st.ptrr, rowSwap: st.rowSwap,
+				},
+			})
 		}
 	}
-	out.Rows = parMap(len(specs), func(i int) MitigationRow {
-		sp := specs[i]
-		st, strat := setups[sp.setupIdx], strategies[sp.stratIdx]
-		s := st.build()
-		res, err := sweep.Run(s, pattern.KnownGood(), strat.cfg, sweep.Options{
-			Locations: locations, DurationPerLocationNS: duration, Bank: -1,
-		})
-		if err != nil {
-			panic(fmt.Sprintf("mitigations: %v", err))
-		}
-		events := s.Dev.TRREvents()
-		if s.Dev.RFMEvents() > 0 {
-			events = s.Dev.RFMEvents()
-		}
-		if s.Dev.RowSwapEvents() > 0 {
-			events = s.Dev.RowSwapEvents()
-		}
-		return MitigationRow{
-			Mitigation: st.name, Strategy: strat.name,
-			Flips: res.TotalFlips, Events: events,
-		}
-	})
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			setup := c.Aux.(mitigationSetup)
+			s, err := hammer.NewSession(c.Arch, c.DIMM, seed)
+			if err != nil {
+				return nil, err
+			}
+			s.EnablePTRR(setup.ptrr)
+			if setup.rowSwap > 0 {
+				s.Dev.EnableRowSwap(uint64(setup.rowSwap))
+			}
+			res, err := sweep.Run(s, c.Pattern, c.Config, sweep.Options{
+				Locations:             c.Budget.Locations,
+				DurationPerLocationNS: c.Budget.DurationNS,
+				Bank:                  -1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			events := s.Dev.TRREvents()
+			if s.Dev.RFMEvents() > 0 {
+				events = s.Dev.RFMEvents()
+			}
+			if s.Dev.RowSwapEvents() > 0 {
+				events = s.Dev.RowSwapEvents()
+			}
+			return MitigationRow{
+				Mitigation: setup.defense, Strategy: setup.strategy,
+				Flips: res.TotalFlips, Events: events,
+			}, nil
+		},
+		Gather: func(rs []any) any { return &MitigationsResult{Rows: gather[MitigationRow](rs)} },
+	}
 }
 
 // Render implements Renderer.

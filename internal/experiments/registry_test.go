@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"rhohammer/internal/campaign"
+)
+
+// expectedCampaigns is the full surface of exported Table*/Fig* (plus
+// aux) experiments, each of which must be registered exactly once under
+// this name. Extending the package means extending this list — the
+// test is the reminder.
+var expectedCampaigns = []string{
+	"table1", "table2", "table3", "table4", "table5", "table6",
+	"fig3", "fig4", "fig6", "fig8", "fig9", "fig10", "fig11",
+	"e2e", "mitigations", "ablation-cs", "ablation-sampler",
+}
+
+func TestRegistryCoversEveryExperiment(t *testing.T) {
+	names := Registry.Names()
+	seen := map[string]int{}
+	for _, n := range names {
+		seen[n]++
+	}
+	for _, want := range expectedCampaigns {
+		if seen[want] != 1 {
+			t.Errorf("campaign %q registered %d times, want exactly once", want, seen[want])
+		}
+	}
+	if len(names) != len(expectedCampaigns) {
+		t.Errorf("registry has %d entries, expected list has %d — keep them in sync",
+			len(names), len(expectedCampaigns))
+	}
+}
+
+// TestRegistryResolvesEveryName is what `experiments -only <name>`
+// relies on: every registered entry must build a well-formed spec.
+func TestRegistryResolvesEveryName(t *testing.T) {
+	for _, name := range expectedCampaigns {
+		e, ok := Registry.Lookup(name)
+		if !ok {
+			t.Errorf("Lookup(%q) failed", name)
+			continue
+		}
+		spec := e.Build(campaign.Params{Seed: 42, Scale: 0.1})
+		if spec.Name != name {
+			t.Errorf("%s: built spec named %q", name, spec.Name)
+		}
+		if spec.Kind != e.Kind {
+			t.Errorf("%s: spec kind %v != entry kind %v", name, spec.Kind, e.Kind)
+		}
+		if spec.Exec == nil {
+			t.Errorf("%s: spec has no Exec", name)
+		}
+		if len(spec.Cells) == 0 {
+			t.Errorf("%s: spec has no cells", name)
+		}
+		keys := map[string]bool{}
+		for _, c := range spec.Cells {
+			if c.Key == "" {
+				t.Errorf("%s: cell with empty key", name)
+			}
+			if keys[c.Key] {
+				t.Errorf("%s: duplicate cell key %q", name, c.Key)
+			}
+			keys[c.Key] = true
+		}
+	}
+}
+
+// TestCampaignWorkerDeterminism is the contract the runner sells: the
+// rendered bytes of a real table and a real figure are identical
+// whether the grid runs on one worker or eight. `make verify` runs this
+// under -race, which also shakes out any shared mutable state between
+// cells.
+func TestCampaignWorkerDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Scale: 0.1}
+	for _, name := range []string{"table3", "fig6"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			serial := renderCampaign(t, name, cfg, 1)
+			parallel := renderCampaign(t, name, cfg, 8)
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("%s: output differs between -parallel 1 (%d bytes) and -parallel 8 (%d bytes)",
+					name, len(serial), len(parallel))
+			}
+		})
+	}
+}
+
+func renderCampaign(t *testing.T, name string, cfg Config, workers int) []byte {
+	t.Helper()
+	cfg.Workers = workers
+	r, err := Run(name, cfg)
+	if err != nil {
+		t.Fatalf("%s at %d workers: %v", name, workers, err)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	return buf.Bytes()
+}

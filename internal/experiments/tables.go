@@ -5,11 +5,15 @@ import (
 	"io"
 
 	"rhohammer/internal/arch"
+	"rhohammer/internal/campaign"
 	"rhohammer/internal/hammer"
 	"rhohammer/internal/mapping"
+	"rhohammer/internal/mem"
 	"rhohammer/internal/pattern"
 	"rhohammer/internal/reverse"
+	"rhohammer/internal/stats"
 	"rhohammer/internal/sweep"
+	"rhohammer/internal/timing"
 )
 
 // ---------------------------------------------------------------- Table 1
@@ -19,7 +23,17 @@ type Table1Result struct{ Archs []*arch.Arch }
 
 // Table1 reproduces the Table 1 inventory from the architecture
 // profiles.
-func Table1(Config) *Table1Result { return &Table1Result{Archs: arch.All()} }
+func Table1(cfg Config) *Table1Result { return runSpec[*Table1Result](cfg, "table1") }
+
+func table1Spec(Config) campaign.Spec {
+	return campaign.Spec{
+		Cells: []campaign.Cell{{Key: "inventory"}},
+		Exec: func(campaign.Cell, int64) (any, error) {
+			return &Table1Result{Archs: arch.All()}, nil
+		},
+		Gather: single,
+	}
+}
 
 // Render implements Renderer.
 func (t *Table1Result) Render(w io.Writer) {
@@ -36,7 +50,17 @@ func (t *Table1Result) Render(w io.Writer) {
 type Table2Result struct{ DIMMs []*arch.DIMM }
 
 // Table2 reproduces the Table 2 inventory from the DIMM profiles.
-func Table2(Config) *Table2Result { return &Table2Result{DIMMs: arch.AllDIMMs()} }
+func Table2(cfg Config) *Table2Result { return runSpec[*Table2Result](cfg, "table2") }
+
+func table2Spec(Config) campaign.Spec {
+	return campaign.Spec{
+		Cells: []campaign.Cell{{Key: "inventory"}},
+		Exec: func(campaign.Cell, int64) (any, error) {
+			return &Table2Result{DIMMs: arch.AllDIMMs()}, nil
+		},
+		Gather: single,
+	}
+}
 
 // Render implements Renderer.
 func (t *Table2Result) Render(w io.Writer) {
@@ -74,45 +98,43 @@ type Table3Result struct{ Rows []Table3Row }
 // the paper: no barrier, CPUID, MFENCE, LFENCE with loads, LFENCE with
 // prefetches, and ρHammer's NOP pseudo-barrier — all with control-flow
 // obfuscation enabled, as in the paper.
-func Table3(cfg Config) *Table3Result {
-	cfg = cfg.withDefaults()
-	out := &Table3Result{}
-	pat := pattern.KnownGood()
-	locations := cfg.scaled(8, 3)
-	duration := float64(cfg.scaled(150, 100)) * 1e6
-	type rowSpec struct {
-		a    *arch.Arch
-		name string
-		hcfg hammer.Config
+func Table3(cfg Config) *Table3Result { return runSpec[*Table3Result](cfg, "table3") }
+
+func table3Spec(cfg Config) campaign.Spec {
+	budget := campaign.Budget{
+		Locations:  cfg.scaled(8, 3),
+		DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
 	}
-	var specs []rowSpec
+	var cells []campaign.Cell
 	for _, a := range []*arch.Arch{arch.AlderLake(), arch.RaptorLake()} {
-		specs = append(specs,
-			rowSpec{a, "None", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierNone, Banks: 1, Obfuscate: true}},
-			rowSpec{a, "CPUID", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierCPUID, Banks: 1, Obfuscate: true}},
-			rowSpec{a, "MFENCE", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierMFence, Banks: 1, Obfuscate: true}},
-			rowSpec{a, "LFENCE (load)", hammer.Config{Instr: hammer.InstrLoad, Barrier: hammer.BarrierLFence, Banks: 1, Obfuscate: true}},
-			rowSpec{a, "LFENCE (prefetch)", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierLFence, Banks: 1, Obfuscate: true}},
-			rowSpec{a, "NOP", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierNop, Nops: TunedNops(a), Banks: 1, Obfuscate: true}},
-		)
+		for _, b := range []struct {
+			label string
+			hcfg  hammer.Config
+		}{
+			{"None", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierNone, Banks: 1, Obfuscate: true}},
+			{"CPUID", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierCPUID, Banks: 1, Obfuscate: true}},
+			{"MFENCE", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierMFence, Banks: 1, Obfuscate: true}},
+			{"LFENCE (load)", hammer.Config{Instr: hammer.InstrLoad, Barrier: hammer.BarrierLFence, Banks: 1, Obfuscate: true}},
+			{"LFENCE (prefetch)", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierLFence, Banks: 1, Obfuscate: true}},
+			{"NOP", hammer.Config{Instr: hammer.InstrPrefetchT2, Barrier: hammer.BarrierNop, Nops: TunedNops(a), Banks: 1, Obfuscate: true}},
+		} {
+			cells = append(cells, campaign.Cell{
+				Key:  a.Name + "/" + b.label,
+				Arch: a, DIMM: DefaultDIMM(), Config: b.hcfg,
+				Pattern: pattern.KnownGood(), Budget: budget, Aux: b.label,
+			})
+		}
 	}
-	out.Rows = parMap(len(specs), func(i int) Table3Row {
-		sp := specs[i]
-		s := newSession(sp.a, DefaultDIMM(), cfg.Seed)
-		res, err := sweep.Run(s, pat, sp.hcfg, sweep.Options{
-			Locations:             locations,
-			DurationPerLocationNS: duration,
-			Bank:                  -1,
-		})
-		if err != nil {
-			panic(fmt.Sprintf("table3: %v", err))
-		}
-		return Table3Row{
-			Arch: sp.a.Name, Barrier: sp.name,
-			Flips: res.TotalFlips, TimeMS: res.TimeNS / 1e6,
-		}
-	})
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: sweepCell(func(c campaign.Cell, _ *hammer.Session, res sweep.Result) any {
+			return Table3Row{
+				Arch: c.Arch.Name, Barrier: c.Aux.(string),
+				Flips: res.TotalFlips, TimeMS: res.TimeNS / 1e6,
+			}
+		}),
+		Gather: func(rs []any) any { return &Table3Result{Rows: gather[Table3Row](rs)} },
+	}
 }
 
 // Render implements Renderer.
@@ -142,9 +164,10 @@ type Table4Result struct{ Rows []Table4Row }
 // Table4 runs Algorithm 1 against every platform family and DIMM
 // geometry of the paper's Table 4 and verifies the results against the
 // ground-truth mappings.
-func Table4(cfg Config) *Table4Result {
-	cfg = cfg.withDefaults()
-	out := &Table4Result{}
+func Table4(cfg Config) *Table4Result { return runSpec[*Table4Result](cfg, "table4") }
+
+func table4Spec(Config) campaign.Spec {
+	var cells []campaign.Cell
 	for _, c := range []struct {
 		a    *arch.Arch
 		size int
@@ -152,21 +175,29 @@ func Table4(cfg Config) *Table4Result {
 		{arch.CometLake(), 8}, {arch.CometLake(), 16}, {arch.RocketLake(), 32},
 		{arch.AlderLake(), 8}, {arch.RaptorLake(), 16}, {arch.RaptorLake(), 32},
 	} {
-		d := dimmWithSize(c.size)
-		truth, _ := mapping.ForPlatform(c.a.MappingFamily, c.size)
-		meas, pool := newMeasurerFor(c.a, d, cfg.Seed)
-		res := reverse.Recover(meas, pool, reverse.Options{})
-		row := Table4Row{
-			Family: c.a.MappingFamily, SizeGiB: c.size,
-			Truth: truth, Seconds: res.Seconds(),
-		}
-		if res.OK() {
-			row.Recovered = res.Mapping
-			row.Correct = res.Mapping.Equal(truth)
-		}
-		out.Rows = append(out.Rows, row)
+		cells = append(cells, campaign.Cell{
+			Key:  fmt.Sprintf("%s/%dGiB", c.a.Name, c.size),
+			Arch: c.a, DIMM: dimmWithSize(c.size),
+		})
 	}
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			truth, _ := mapping.ForPlatform(c.Arch.MappingFamily, c.DIMM.SizeGiB)
+			meas, pool := newMeasurerFor(c.Arch, c.DIMM, seed)
+			res := reverse.Recover(meas, pool, reverse.Options{})
+			row := Table4Row{
+				Family: c.Arch.MappingFamily, SizeGiB: c.DIMM.SizeGiB,
+				Truth: truth, Seconds: res.Seconds(),
+			}
+			if res.OK() {
+				row.Recovered = res.Mapping
+				row.Correct = res.Mapping.Equal(truth)
+			}
+			return row, nil
+		},
+		Gather: func(rs []any) any { return &Table4Result{Rows: gather[Table4Row](rs)} },
+	}
 }
 
 // dimmWithSize returns a DIMM profile of the requested capacity.
@@ -214,61 +245,58 @@ type Table5Result struct{ Cells []Table5Cell }
 
 // Table5 runs each tool `runs` times per architecture (the paper uses
 // 50 independent runs) and reports accuracy and mean runtime.
-func Table5(cfg Config) *Table5Result {
-	cfg = cfg.withDefaults()
-	runs := cfg.scaled(6, 3)
-	out := &Table5Result{}
-	tools := []struct {
-		name string
-		run  func(*arch.Arch, *arch.DIMM, int64) reverse.Result
-	}{
-		{"DRAMA", func(a *arch.Arch, d *arch.DIMM, seed int64) reverse.Result {
-			m, p := newMeasurerFor(a, d, seed)
-			return reverse.RecoverDRAMA(m, p, reverse.Options{})
-		}},
-		{"DRAMDig", func(a *arch.Arch, d *arch.DIMM, seed int64) reverse.Result {
-			m, p := newMeasurerFor(a, d, seed)
-			return reverse.RecoverDRAMDig(m, p, reverse.Options{})
-		}},
-		{"DARE", func(a *arch.Arch, d *arch.DIMM, seed int64) reverse.Result {
-			m, p := newMeasurerFor(a, d, seed)
-			return reverse.RecoverDARE(m, p, reverse.Options{})
-		}},
-		{"rhoHammer", func(a *arch.Arch, d *arch.DIMM, seed int64) reverse.Result {
-			m, p := newMeasurerFor(a, d, seed)
-			return reverse.Recover(m, p, reverse.Options{})
-		}},
+func Table5(cfg Config) *Table5Result { return runSpec[*Table5Result](cfg, "table5") }
+
+// reverseTool maps a Table 5 tool name to its recovery entry point.
+func reverseTool(name string) func(*timing.Measurer, *mem.Pool) reverse.Result {
+	switch name {
+	case "DRAMA":
+		return func(m *timing.Measurer, p *mem.Pool) reverse.Result { return reverse.RecoverDRAMA(m, p, reverse.Options{}) }
+	case "DRAMDig":
+		return func(m *timing.Measurer, p *mem.Pool) reverse.Result { return reverse.RecoverDRAMDig(m, p, reverse.Options{}) }
+	case "DARE":
+		return func(m *timing.Measurer, p *mem.Pool) reverse.Result { return reverse.RecoverDARE(m, p, reverse.Options{}) }
+	case "rhoHammer":
+		return func(m *timing.Measurer, p *mem.Pool) reverse.Result { return reverse.Recover(m, p, reverse.Options{}) }
+	default:
+		panic(fmt.Sprintf("experiments: unknown reverse-engineering tool %q", name))
 	}
-	type cellSpec struct {
-		toolIdx int
-		a       *arch.Arch
-	}
-	var specs []cellSpec
-	for ti := range tools {
+}
+
+func table5Spec(cfg Config) campaign.Spec {
+	budget := campaign.Budget{Runs: cfg.scaled(6, 3)}
+	var cells []campaign.Cell
+	for _, tool := range []string{"DRAMA", "DRAMDig", "DARE", "rhoHammer"} {
 		for _, a := range arch.All() {
-			specs = append(specs, cellSpec{ti, a})
+			cells = append(cells, campaign.Cell{
+				Key:  tool + "/" + a.Name,
+				Arch: a, DIMM: DefaultDIMM(), Budget: budget, Aux: tool,
+			})
 		}
 	}
-	out.Cells = parMap(len(specs), func(i int) Table5Cell {
-		sp := specs[i]
-		tool := tools[sp.toolIdx]
-		d := DefaultDIMM()
-		truth, _ := mapping.ForPlatform(sp.a.MappingFamily, d.SizeGiB)
-		cell := Table5Cell{Tool: tool.name, Arch: sp.a.Name, Runs: runs}
-		var secs float64
-		for r := 0; r < runs; r++ {
-			res := tool.run(sp.a, d, cfg.Seed+int64(r)*7919)
-			if res.OK() && sameFuncs(res.Mapping, truth) {
-				cell.Correct++
-				secs += res.Seconds()
+	return campaign.Spec{
+		Cells: cells,
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			tool := c.Aux.(string)
+			run := reverseTool(tool)
+			truth, _ := mapping.ForPlatform(c.Arch.MappingFamily, c.DIMM.SizeGiB)
+			cell := Table5Cell{Tool: tool, Arch: c.Arch.Name, Runs: c.Budget.Runs}
+			var secs float64
+			for r := 0; r < c.Budget.Runs; r++ {
+				meas, pool := newMeasurerFor(c.Arch, c.DIMM, stats.SplitSeed(seed, fmt.Sprintf("run/%d", r)))
+				res := run(meas, pool)
+				if res.OK() && sameFuncs(res.Mapping, truth) {
+					cell.Correct++
+					secs += res.Seconds()
+				}
 			}
-		}
-		if cell.Correct > 0 {
-			cell.MeanSecs = secs / float64(cell.Correct)
-		}
-		return cell
-	})
-	return out
+			if cell.Correct > 0 {
+				cell.MeanSecs = secs / float64(cell.Correct)
+			}
+			return cell, nil
+		},
+		Gather: func(rs []any) any { return &Table5Result{Cells: gather[Table5Cell](rs)} },
+	}
 }
 
 // sameFuncs compares only the bank-function sets: DRAMA and DARE do not
@@ -320,44 +348,55 @@ type Table6Result struct{ Cells []Table6Cell }
 // Table6 runs the fuzzing campaign for every architecture, DIMM and
 // strategy combination. The paper's 2-hour budget is represented by a
 // scaled number of candidate patterns.
-func Table6(cfg Config) *Table6Result {
-	cfg = cfg.withDefaults()
-	out := &Table6Result{}
-	opt := hammer.FuzzOptions{
+func Table6(cfg Config) *Table6Result { return runSpec[*Table6Result](cfg, "table6") }
+
+// strategies enumerates the Table 6 columns for one architecture.
+func strategies(a *arch.Arch) []struct {
+	label string
+	hcfg  hammer.Config
+} {
+	return []struct {
+		label string
+		hcfg  hammer.Config
+	}{
+		{"BL-S", BaselineS()},
+		{"BL-M", BaselineM(a)},
+		{"rho-S", RhoS(a)},
+		{"rho-M", RhoM(a)},
+	}
+}
+
+func table6Spec(cfg Config) campaign.Spec {
+	budget := campaign.Budget{
 		Patterns:   cfg.scaled(10, 5),
 		Locations:  1,
 		DurationNS: float64(cfg.scaled(150, 100)) * 1e6,
 	}
-	type cellSpec struct {
-		a        *arch.Arch
-		d        *arch.DIMM
-		strategy string
-		hcfg     hammer.Config
-	}
-	var specs []cellSpec
+	var cells []campaign.Cell
 	for _, a := range arch.All() {
 		for _, d := range arch.AllDIMMs() {
-			specs = append(specs,
-				cellSpec{a, d, "BL-S", BaselineS()},
-				cellSpec{a, d, "BL-M", BaselineM(a)},
-				cellSpec{a, d, "rho-S", RhoS(a)},
-				cellSpec{a, d, "rho-M", RhoM(a)},
-			)
+			for _, st := range strategies(a) {
+				cells = append(cells, campaign.Cell{
+					Key:  a.Name + "/" + d.ID + "/" + st.label,
+					Arch: a, DIMM: d, Config: st.hcfg, Budget: budget, Aux: st.label,
+				})
+			}
 		}
 	}
-	out.Cells = parMap(len(specs), func(i int) Table6Cell {
-		sp := specs[i]
-		s := newSession(sp.a, sp.d, cfg.Seed)
-		rep, err := s.Fuzz(sp.hcfg, opt)
-		if err != nil {
-			panic(fmt.Sprintf("table6: %v", err))
-		}
-		return Table6Cell{
-			Arch: sp.a.Name, DIMM: sp.d.ID, Strategy: sp.strategy,
-			Total: rep.TotalFlips, Best: rep.Best.Flips,
-		}
-	})
-	return out
+	return campaign.Spec{
+		Cells: cells,
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			rep, err := fuzzCell(c, seed)
+			if err != nil {
+				return nil, err
+			}
+			return Table6Cell{
+				Arch: c.Arch.Name, DIMM: c.DIMM.ID, Strategy: c.Aux.(string),
+				Total: rep.TotalFlips, Best: rep.Best.Flips,
+			}, nil
+		},
+		Gather: func(rs []any) any { return &Table6Result{Cells: gather[Table6Cell](rs)} },
+	}
 }
 
 // Render implements Renderer.

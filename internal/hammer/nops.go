@@ -1,0 +1,63 @@
+package hammer
+
+import "rhohammer/internal/arch"
+
+// This file is the single home of the pre-tuned counter-speculation
+// constants. The attack facade (rhohammer.Attack.RecommendedConfig) and
+// the experiment harness (internal/experiments) both consume these;
+// TestTunedNopsNearOptimum keeps them inside the plateau the actual
+// tuning phase (TuneNops) finds.
+
+// TunedNops returns the counter-speculation NOP count ρHammer's tuning
+// phase converges to on each architecture for single-bank hammering.
+// The optimum sits where ordering is restored AND the per-bank access
+// pace clears the bank's activation cycle (so prefetches stop merging
+// in the fill buffers); the attack discovers it with TuneNops once per
+// target.
+func TunedNops(a *arch.Arch) int {
+	switch a.Generation {
+	case 10:
+		return 190
+	case 11:
+		return 200
+	case 12:
+		return 230
+	default:
+		return 260
+	}
+}
+
+// TunedNopsMulti is the equivalent optimum for multi-bank hammering:
+// bank interleaving already spreads each bank's accesses, so far fewer
+// NOPs are needed before the rate penalty dominates.
+func TunedNopsMulti(a *arch.Arch) int {
+	switch a.Generation {
+	case 10:
+		return 70
+	case 11:
+		return 80
+	case 12:
+		return 95
+	default:
+		return 110
+	}
+}
+
+// OptimalBanks is the multi-bank width fuzzing identifies as optimal
+// (Fig. 9 peaks at 3 banks on Comet Lake; the newer platforms behave
+// alike on this substrate).
+func OptimalBanks(a *arch.Arch) int { return 3 }
+
+// Recommended returns ρHammer's tuned multi-bank configuration for the
+// architecture: prefetch hammering at the optimal bank width with
+// counter-speculation NOPs pre-tuned for that width.
+func Recommended(a *arch.Arch) Config {
+	return RhoHammer(a, OptimalBanks(a), TunedNopsMulti(a))
+}
+
+// RecommendedSingleBank is the single-bank equivalent of Recommended
+// (used where the workload is confined to one bank, e.g. templating a
+// contiguous region).
+func RecommendedSingleBank(a *arch.Arch) Config {
+	return RhoHammer(a, 1, TunedNops(a))
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -271,5 +272,30 @@ func TestHistogramMassProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSplitSeedProperties(t *testing.T) {
+	// Pure function of (seed, key).
+	if SplitSeed(42, "table6/Comet Lake/S3/rho-M") != SplitSeed(42, "table6/Comet Lake/S3/rho-M") {
+		t.Error("SplitSeed is not deterministic")
+	}
+	// Distinct keys and distinct base seeds must decorrelate.
+	seen := map[int64]string{}
+	for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+		for _, key := range []string{"", "a", "b", "a/0", "a/1", "cell/Comet Lake"} {
+			s := SplitSeed(seed, key)
+			id := fmt.Sprintf("%d|%s", seed, key)
+			if prev, dup := seen[s]; dup {
+				t.Errorf("collision: %s and %s both derive %d", prev, id, s)
+			}
+			seen[s] = id
+		}
+	}
+	// Derived streams must differ from each other, not just the seeds.
+	a := NewRand(SplitSeed(42, "a")).Int63()
+	b := NewRand(SplitSeed(42, "b")).Int63()
+	if a == b {
+		t.Error("sibling streams coincide")
 	}
 }

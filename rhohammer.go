@@ -229,34 +229,17 @@ func (a *Attack) Fuzz(opt FuzzOptions) (FuzzReport, error) {
 // configuration with NOP counts pre-tuned for the architecture. The
 // optimal pseudo-barrier length depends on bank parallelism (the
 // interleaving itself spreads per-bank accesses), so the single-bank
-// variant below uses larger counts.
+// variant below uses larger counts; both draw from the tuned tables in
+// internal/hammer.
 func (a *Attack) RecommendedConfig() HammerConfig {
-	nops := 110
-	switch a.session.Arch.Generation {
-	case 10:
-		nops = 70
-	case 11:
-		nops = 80
-	case 12:
-		nops = 95
-	}
-	return hammer.RhoHammer(a.session.Arch, 3, nops)
+	return hammer.Recommended(a.session.Arch)
 }
 
 // RecommendedSingleBankConfig is the single-bank equivalent of
 // RecommendedConfig (used where the workload is confined to one bank,
 // e.g. templating a contiguous region).
 func (a *Attack) RecommendedSingleBankConfig() HammerConfig {
-	nops := 260
-	switch a.session.Arch.Generation {
-	case 10:
-		nops = 190
-	case 11:
-		nops = 200
-	case 12:
-		nops = 230
-	}
-	return hammer.RhoHammer(a.session.Arch, 1, nops)
+	return hammer.RecommendedSingleBank(a.session.Arch)
 }
 
 // Refine hill-climbs from an effective pattern by replaying mutated
