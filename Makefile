@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build vet test race determinism verify bench
+.PHONY: build vet test race determinism verify bench fuzz
 
 build:
 	$(GO) build ./...
@@ -11,11 +12,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# The race detector runs on the packages that spawn goroutines (the
-# campaign runner and the experiment grids built on it); -short skips
-# the multi-minute campaign tests so the check stays under ~2 minutes.
+# The race detector runs across the whole tree; -short skips the
+# multi-minute campaign tests and trims the differential-oracle trace
+# count so the check stays within a few minutes.
 race:
-	$(GO) test -race -short ./internal/campaign ./internal/experiments
+	$(GO) test -race -short ./...
 
 # determinism proves the campaign contract under the race detector:
 # rendered experiment bytes are identical at 1 and 8 workers, and the
@@ -24,6 +25,16 @@ determinism:
 	$(GO) test -race -run 'Determinism' ./internal/campaign ./internal/experiments
 
 verify: build vet test race determinism
+
+# fuzz gives each native fuzz target a short budget on top of the
+# checked-in seed corpus: the differential oracle (random command
+# traces through fast and reference substrates) and the dram sampler /
+# pTRR table policies against naive mirrors. Override FUZZTIME for a
+# longer soak, e.g. `make fuzz FUZZTIME=5m`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialTrace$$' -fuzztime $(FUZZTIME) ./internal/refmodel
+	$(GO) test -run '^$$' -fuzz '^FuzzTRRSampler$$' -fuzztime $(FUZZTIME) ./internal/dram
+	$(GO) test -run '^$$' -fuzz '^FuzzPTRRTable$$' -fuzztime $(FUZZTIME) ./internal/dram
 
 # bench regenerates the machine-readable benchmark snapshot
 # (BENCH_<date>.json); see cmd/bench for flags.

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"rhohammer/internal/experiments"
+	"rhohammer/internal/hammer"
 )
 
 func main() {
@@ -31,7 +32,15 @@ func main() {
 	only := flag.String("only", "", "run exactly one named experiment")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	asJSON := flag.Bool("json", false, "emit structured JSON instead of text")
+	simcheck := flag.Bool("simcheck", false, "audit every simulated session against the slow reference model (order-of-magnitude slower; panics on divergence)")
 	flag.Parse()
+
+	if *simcheck {
+		// Sessions are created deep inside the experiment code; the env
+		// gate is how the audit reaches them without threading a flag
+		// through every constructor.
+		os.Setenv(hammer.SimcheckEnv, "1")
+	}
 
 	names := experiments.Registry.Names()
 

@@ -1,14 +1,18 @@
 // Command goldenhash prints the sha256 of the pinned experiments'
 // rendered output at the golden configuration (Seed 42, Scale 0.5).
-// Run it after any change that intentionally alters RNG streams (e.g.
-// a new seed-derivation scheme) and paste the hashes into
-// internal/experiments/golden_test.go.
+//
+// Without flags it prints each hash for pasting into
+// internal/experiments/golden.go after an intentional output change.
+// With -check it compares against the pinned hashes instead and exits
+// nonzero on the first mismatch, naming the diverging experiment — the
+// command-line twin of TestGoldenOutputs, usable without the test
+// harness (e.g. from a bisect script).
 package main
 
 import (
-	"bytes"
-	"crypto/sha256"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -16,16 +20,48 @@ import (
 )
 
 func main() {
-	cfg := experiments.Config{Seed: 42, Scale: 0.5}
-	for _, name := range []string{"table3", "table6", "fig9"} {
+	check := flag.Bool("check", false, "compare against the pinned golden hashes; exit 1 on mismatch")
+	flag.Parse()
+	os.Exit(run(os.Stdout, *check, compute))
+}
+
+// compute runs one golden campaign for real. Tests substitute a stub.
+func compute(name string) (hash string, size int, err error) {
+	return experiments.GoldenHash(name)
+}
+
+// run drives every pinned experiment through compute, printing either
+// the hashes (check=false) or a pass/fail verdict per experiment
+// (check=true). Returns the process exit code; in check mode every
+// experiment is evaluated even after a mismatch so the report is
+// complete, but the first mismatch fixes the verdict.
+func run(w io.Writer, check bool, compute func(name string) (string, int, error)) int {
+	exit := 0
+	firstBad := ""
+	for _, g := range experiments.Goldens() {
 		t0 := time.Now()
-		r, err := experiments.Run(name, cfg)
+		got, size, err := compute(g.Name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintf(w, "%s: error: %v\n", g.Name, err)
+			return 1
 		}
-		var buf bytes.Buffer
-		r.Render(&buf)
-		fmt.Printf("%s: sha256=%x wall=%s bytes=%d\n", name, sha256.Sum256(buf.Bytes()), time.Since(t0).Round(time.Millisecond), buf.Len())
+		wall := time.Since(t0).Round(time.Millisecond)
+		if !check {
+			fmt.Fprintf(w, "%s: sha256=%s wall=%s bytes=%d\n", g.Name, got, wall, size)
+			continue
+		}
+		if got == g.SHA256 {
+			fmt.Fprintf(w, "%s: ok (wall=%s)\n", g.Name, wall)
+			continue
+		}
+		fmt.Fprintf(w, "%s: MISMATCH got=%s want=%s\n", g.Name, got, g.SHA256)
+		if exit == 0 {
+			exit = 1
+			firstBad = g.Name
+		}
 	}
+	if firstBad != "" {
+		fmt.Fprintf(w, "golden check failed: first diverging experiment is %s\n", firstBad)
+	}
+	return exit
 }

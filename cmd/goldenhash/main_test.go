@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rhohammer/internal/experiments"
+)
+
+// stubCompute returns the pinned hash for every experiment except the
+// ones overridden in bad.
+func stubCompute(bad map[string]string) func(string) (string, int, error) {
+	pinned := map[string]string{}
+	for _, g := range experiments.Goldens() {
+		pinned[g.Name] = g.SHA256
+	}
+	return func(name string) (string, int, error) {
+		if h, ok := bad[name]; ok {
+			return h, 1, nil
+		}
+		h, ok := pinned[name]
+		if !ok {
+			return "", 0, fmt.Errorf("unknown experiment %q", name)
+		}
+		return h, 1, nil
+	}
+}
+
+func TestCheckModePasses(t *testing.T) {
+	var out strings.Builder
+	if code := run(&out, true, stubCompute(nil)); code != 0 {
+		t.Fatalf("check against pinned hashes exited %d:\n%s", code, out.String())
+	}
+	for _, g := range experiments.Goldens() {
+		if !strings.Contains(out.String(), g.Name+": ok") {
+			t.Errorf("missing ok line for %s:\n%s", g.Name, out.String())
+		}
+	}
+}
+
+func TestCheckModeNamesFirstMismatch(t *testing.T) {
+	// table6 is the second pinned experiment; table3 before it passes,
+	// fig9 after it must still be evaluated.
+	bad := map[string]string{
+		"table6": "deadbeef",
+		"fig9":   "cafef00d",
+	}
+	var out strings.Builder
+	code := run(&out, true, stubCompute(bad))
+	if code != 1 {
+		t.Fatalf("mismatch exited %d, want 1:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"table3: ok",
+		"table6: MISMATCH got=deadbeef",
+		"fig9: MISMATCH",
+		"first diverging experiment is table6",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("check output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCheckModeErrorExitsNonzero(t *testing.T) {
+	failing := func(name string) (string, int, error) {
+		return "", 0, fmt.Errorf("campaign blew up")
+	}
+	var out strings.Builder
+	if code := run(&out, true, failing); code != 1 {
+		t.Fatalf("compute error exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "campaign blew up") {
+		t.Errorf("error not surfaced:\n%s", out.String())
+	}
+}
+
+func TestPrintModeListsHashes(t *testing.T) {
+	var out strings.Builder
+	if code := run(&out, false, stubCompute(nil)); code != 0 {
+		t.Fatalf("print mode exited %d", code)
+	}
+	for _, g := range experiments.Goldens() {
+		if !strings.Contains(out.String(), g.Name+": sha256="+g.SHA256) {
+			t.Errorf("missing hash line for %s:\n%s", g.Name, out.String())
+		}
+	}
+}

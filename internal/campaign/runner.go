@@ -37,8 +37,12 @@ type Outcome struct {
 }
 
 // Run executes every cell of the spec and gathers the results. A cell
-// failure (returned error or panic) does not stop the other cells; all
-// failures are joined into the returned error, each naming its cell.
+// failure (returned error or panic) does not stop, skew, or reorder the
+// other cells; all failures are joined into the returned error, each
+// naming its cell. On error the Outcome is still returned with every
+// successful cell's result at its index (failed cells hold nil) so a
+// caller can salvage partial grids; Gather is not run on partial
+// results — Outcome.Result is nil whenever the error is non-nil.
 func (r Runner) Run(s Spec) (*Outcome, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -81,6 +85,13 @@ func (r Runner) Run(s Spec) (*Outcome, error) {
 		wg.Wait()
 	}
 
+	out := &Outcome{
+		Name:    s.Name,
+		Workers: workers,
+		Results: results,
+		Wall:    time.Since(start),
+	}
+
 	var errs []error
 	for i, err := range cellErrs {
 		if err != nil {
@@ -88,15 +99,9 @@ func (r Runner) Run(s Spec) (*Outcome, error) {
 		}
 	}
 	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
+		return out, errors.Join(errs...)
 	}
 
-	out := &Outcome{
-		Name:    s.Name,
-		Workers: workers,
-		Results: results,
-		Wall:    time.Since(start),
-	}
 	if s.Gather != nil {
 		out.Result = s.Gather(results)
 	} else {

@@ -1,0 +1,85 @@
+package dram
+
+import "sort"
+
+// Audit-mode plumbing ("simcheck"): an optional Shadow receives a copy
+// of every substrate-level event the device processes, so an independent
+// reference implementation (internal/refmodel) can replay the exact same
+// event stream and diff its state against this device at every refresh
+// boundary. The hooks are nil-gated: with no shadow attached the only
+// cost is one predictable branch per event, and none of the accessors
+// below run.
+
+// Shadow receives the device's substrate events. Activate is forwarded
+// before the device mutates any state (with the pre-row-swap logical
+// address, which is the substrate's input); Refresh and Reset are
+// forwarded after the device has fully processed them, so a shadow that
+// diffs at refresh boundaries sees both models past the same event.
+type Shadow interface {
+	Activate(bank int, row uint64, now float64)
+	Refresh(now float64)
+	Reset()
+}
+
+// AttachShadow connects a shadow model. Passing nil detaches it.
+func (d *Device) AttachShadow(s Shadow) {
+	d.shadow = s
+	d.auditTRR = nil
+}
+
+// RefreshCount returns the number of REF commands processed since the
+// last Reset.
+func (d *Device) RefreshCount() uint64 { return d.refCount }
+
+// TRRTrigger records one targeted-refresh event: the neighborhood of
+// (Bank, Row) was proactively refreshed, by DDR4 TRR, pTRR, or DDR5 RFM.
+type TRRTrigger struct {
+	Bank int
+	Row  uint64
+}
+
+// TakeTRRTriggers drains the targeted-refresh log accumulated since the
+// last call. The log is only maintained while a shadow is attached.
+func (d *Device) TakeTRRTriggers() []TRRTrigger {
+	t := d.auditTRR
+	d.auditTRR = nil
+	return t
+}
+
+// VisitRows calls fn for every materialized row state, in (bank, row)
+// order. The reported disturbance is the row's effective in-window value:
+// a row whose refresh slice has passed since its last update reports 0,
+// exactly what the next disturb would observe after the lazy epoch
+// rollover. Audit and diagnostics only — the traversal sorts every bank's
+// touched set.
+func (d *Device) VisitRows(fn func(bank int, row uint64, disturbance float64, acts uint64)) {
+	rows := make([]uint64, 0, 64)
+	for bank := range d.touched {
+		rows = rows[:0]
+		for r := range d.touched[bank] {
+			rows = append(rows, r)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+		for _, r := range rows {
+			st := d.touched[bank][r]
+			fn(bank, r, d.effectiveDisturbance(r, st), st.acts)
+		}
+	}
+}
+
+// effectiveDisturbance returns the disturbance the next disturb of the
+// row would start from: the stored accumulator, unless the row's refresh
+// slice has been refreshed since the last update (the lazy window
+// restart disturbSlow applies on its next visit).
+func (d *Device) effectiveDisturbance(row uint64, st *rowState) float64 {
+	if st.epochRef != d.refCount && d.rowEpoch(row) != st.epoch {
+		return 0
+	}
+	return st.disturbance
+}
+
+// RowSwapConfig reports whether the row-swap mitigation is enabled and
+// its swap period, so a shadow model can mirror the configuration.
+func (d *Device) RowSwapConfig() (enabled bool, period uint64) {
+	return d.rowSwap.enabled, d.rowSwap.period
+}

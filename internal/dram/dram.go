@@ -189,6 +189,12 @@ type Device struct {
 	rowSwap       rowSwapState
 	rowSwapEvents uint64
 
+	// shadow, when non-nil, receives a copy of every Activate, Refresh
+	// and Reset (the simcheck audit mode, see audit.go). auditTRR logs
+	// targeted-refresh events while a shadow is attached.
+	shadow   Shadow
+	auditTRR []TRRTrigger
+
 	// OnTRR, if set, is invoked for every targeted refresh with the
 	// identified aggressor. Diagnostics and tests only.
 	OnTRR func(bank int, row uint64)
@@ -309,6 +315,11 @@ func (d *Device) peek(bank int, row uint64) *rowState {
 // It deposits disturbance on the neighboring rows and records any cells
 // whose thresholds are crossed.
 func (d *Device) Activate(bank int, row uint64, now float64) {
+	if d.shadow != nil {
+		// Forwarded before any mutation: the shadow models the same
+		// substrate input (pre-row-swap logical address).
+		d.shadow.Activate(bank, row, now)
+	}
 	d.actCount++
 	st := d.state(bank, row)
 	st.acts++
@@ -508,12 +519,21 @@ func (d *Device) Refresh(now float64) {
 	if d.PTRR {
 		d.ptrrSweep()
 	}
+
+	if d.shadow != nil {
+		// Forwarded after the REF is fully processed, so a diffing
+		// shadow compares both models past the same event.
+		d.shadow.Refresh(now)
+	}
 }
 
 // refreshNeighborhood resets the disturbance of rows adjacent to an
 // identified aggressor (the TRR action).
 func (d *Device) refreshNeighborhood(bank int, row uint64) {
 	d.trrEvents++
+	if d.shadow != nil {
+		d.auditTRR = append(d.auditTRR, TRRTrigger{Bank: bank, Row: row})
+	}
 	if d.OnTRR != nil {
 		d.OnTRR(bank, row)
 	}
@@ -594,6 +614,10 @@ func (d *Device) Reset() {
 	d.trrEvents = 0
 	d.resetRFM()
 	d.resetRowSwap()
+	if d.shadow != nil {
+		d.auditTRR = d.auditTRR[:0]
+		d.shadow.Reset()
+	}
 }
 
 // ActCount reports the total activations a row has received since the

@@ -1,5 +1,7 @@
 package dram
 
+import "sort"
+
 // Randomized row-swap, one of the academic mitigations discussed in §6
 // (Saileshwar et al., Woo et al., Wi et al.): the device periodically
 // exchanges the contents of row pairs behind an internal remap table, so
@@ -72,18 +74,28 @@ func (d *Device) rowSwapObserve(bank int, row uint64) {
 	if threshold < 4 {
 		threshold = 4
 	}
-	swapped := 0
+	// Collect the qualifying rows and relocate them in ascending row
+	// order: map iteration order is random, and with it both the top-8
+	// cut and the remap write order (which matters when one row is
+	// another's partner) would vary run to run — breaking the seed-
+	// determinism contract the simcheck harness audits.
+	var hot []uint64
 	for r, n := range rs.counts[bank] {
-		if n < threshold || swapped >= 8 {
-			continue
+		if n >= threshold {
+			hot = append(hot, r)
 		}
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+	if len(hot) > 8 {
+		hot = hot[:8]
+	}
+	for _, r := range hot {
 		h := newHashRand(d.Seed^0x505A, uint64(bank)<<32|r, rs.counter)
 		partner := h.next() % d.rows
 		va, pa := d.swapTarget(bank, r), d.swapTarget(bank, partner)
 		rs.remap[bank][r] = pa
 		rs.remap[bank][partner] = va
 		d.rowSwapEvents++
-		swapped++
 	}
 	clear(rs.counts[bank])
 }

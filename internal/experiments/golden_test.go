@@ -1,51 +1,30 @@
 package experiments
 
 import (
-	"bytes"
-	"crypto/sha256"
-	"fmt"
 	"testing"
 )
 
-// Golden output hashes at Seed 42, Scale 0.5, captured after the
-// campaign-engine refactor introduced per-cell seed derivation
-// (stats.SplitSeed over "spec/cellKey"). That derivation changed every
-// RNG stream once, intentionally; from here on the hashes again pin
-// simulation results bit-for-bit. Any further divergence means a change
-// altered results, not just speed or structure.
-var goldenHashes = []struct {
-	name string
-	want string
-}{
-	{"table3", "2f84c61faa970673992c87c7caad8b41e80f626407b980ad17179b7bf495096e"},
-	{"table6", "7520fe96c3ca4f393ceeb276d3db98c402c830d4011c7e3347edef539380a1d3"},
-	{"fig9", "5c9d28b458cec9d43994d3300a47d00dcfe0a5e49707f1c32f4e7068897b63d2"},
-}
-
-// TestGoldenOutputs locks the rendered experiment output at a fixed
-// (seed, scale) to the hashes above. Regenerate with `go run
+// TestGoldenOutputs locks the rendered experiment output at the golden
+// configuration to the hashes in Goldens. Regenerate with `go run
 // ./cmd/goldenhash` — but only after establishing that an output change
 // is intended (e.g. a new seed-derivation scheme), never to make an
-// optimization pass.
+// optimization pass. `goldenhash -check` runs the same comparison from
+// the command line.
 func TestGoldenOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden campaigns are minutes long; skipped with -short")
 	}
-	cfg := Config{Seed: 42, Scale: 0.5}
-	for _, g := range goldenHashes {
+	for _, g := range Goldens() {
 		g := g
-		t.Run(g.name, func(t *testing.T) {
+		t.Run(g.Name, func(t *testing.T) {
 			t.Parallel()
-			r, err := Run(g.name, cfg)
+			got, _, err := GoldenHash(g.Name)
 			if err != nil {
 				t.Fatal(err)
 			}
-			var buf bytes.Buffer
-			r.Render(&buf)
-			got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
-			if got != g.want {
+			if got != g.SHA256 {
 				t.Errorf("%s output hash = %s, want %s (simulation results changed)",
-					g.name, got, g.want)
+					g.Name, got, g.SHA256)
 			}
 		})
 	}

@@ -1,0 +1,116 @@
+package hammer
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+	"rhohammer/internal/pattern"
+	"rhohammer/internal/refmodel"
+)
+
+// TestSessionAuditEndToEnd runs a real hammering workload — the full
+// engine pipeline: pattern lowering, speculative execution, controller
+// timing, refresh scheduling — with the simcheck auditor attached, and
+// requires the production device and the reference model to agree at
+// every refresh boundary the run crosses.
+func TestSessionAuditEndToEnd(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS4())
+	aud := s.EnableAudit()
+	aud.PanicOnDivergence = false
+
+	pat := pattern.DoubleSided(64)
+	res, err := s.HammerPattern(pat, Recommended(s.Arch), 0, 5000, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.Check(); err != nil {
+		t.Fatalf("audit diverged during a live hammering session:\n%v", err)
+	}
+	if res.ACTs == 0 {
+		t.Fatal("session issued no activations; audit test is vacuous")
+	}
+	if aud.Ref.ActivationCount() != s.Dev.ActivationCount() {
+		t.Fatalf("reference saw %d activations, device %d",
+			aud.Ref.ActivationCount(), s.Dev.ActivationCount())
+	}
+}
+
+// TestSessionAuditEnvGate verifies the RHOHAMMER_SIMCHECK environment
+// switch: set, a fresh session comes up with the auditor attached and
+// panicking on divergence; unset or "0", it does not.
+func TestSessionAuditEnvGate(t *testing.T) {
+	t.Setenv(SimcheckEnv, "1")
+	s, err := NewSession(arch.CometLake(), arch.DIMMS1(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Auditor() == nil {
+		t.Fatal("RHOHAMMER_SIMCHECK=1 did not attach an auditor")
+	}
+	if !s.Auditor().PanicOnDivergence {
+		t.Error("env-gated auditor must panic on divergence")
+	}
+
+	t.Setenv(SimcheckEnv, "0")
+	s2, err := NewSession(arch.CometLake(), arch.DIMMS1(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Auditor() != nil {
+		t.Error("RHOHAMMER_SIMCHECK=0 attached an auditor")
+	}
+}
+
+// TestTraceReplayMatchesLive records the controller's command stream
+// during a live hammering run, then replays it into a fresh production
+// device and a fresh reference device: both must reproduce the live
+// run's flips exactly. This closes the loop between the controller's
+// trace facility and the substrate models — a trace is a complete,
+// faithful record of everything that determines disturbance.
+func TestTraceReplayMatchesLive(t *testing.T) {
+	s := newTestSession(t, arch.CometLake(), arch.DIMMS4())
+	s.Ctrl.Trace.Start(1 << 22)
+	// Drive the TRR-bypassing pattern straight through the controller:
+	// decoys own the sampler while the true aggressor pairs accumulate
+	// disturbance, so flips appear within a bounded access budget.
+	seq := pattern.KnownGood().Render()
+	const baseRow = 9000
+	now := 0.0
+	for pass := 0; pass < 6000 && len(s.Dev.Flips()) < 3; pass++ {
+		for _, off := range seq {
+			pa, err := s.Map.PhysAddr(0, baseRow+uint64(off), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now, _ = s.Ctrl.Access(pa, now)
+		}
+	}
+	s.Ctrl.Trace.Stop()
+	if len(s.Dev.Flips()) == 0 {
+		t.Fatal("live run produced no flips; replay test is vacuous")
+	}
+	cmds := s.Ctrl.Trace.Commands()
+
+	liveFlips := s.Dev.Flips()
+
+	fastReplay := dram.NewDevice(s.DIMM, s.Dev.Seed)
+	refmodel.Replay(fastReplay, cmds)
+	compareFlips(t, "fast replay", liveFlips, fastReplay.Flips())
+
+	refReplay := refmodel.NewDevice(s.DIMM, s.Dev.Seed)
+	refmodel.Replay(refReplay, cmds)
+	compareFlips(t, "reference replay", liveFlips, refReplay.Flips())
+}
+
+func compareFlips(t *testing.T, label string, want, got []dram.Flip) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d flips, live run had %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: flip %d = %+v, live %+v", label, i, got[i], want[i])
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"rhohammer/internal/mapping"
 	"rhohammer/internal/memctrl"
 	"rhohammer/internal/pattern"
+	"rhohammer/internal/refmodel"
 	"rhohammer/internal/stats"
 )
 
@@ -181,6 +182,9 @@ type Session struct {
 	// patterns are immutable once built (the fuzzer and mutator always
 	// construct fresh ones).
 	progCache map[progKey]*cpu.Program
+
+	// auditor is non-nil in simcheck mode; see EnableAudit.
+	auditor *refmodel.Auditor
 }
 
 // progKey identifies one lowered program: the pattern plus every config
@@ -218,12 +222,16 @@ func NewSession(a *arch.Arch, d *arch.DIMM, seed int64) (*Session, error) {
 	r := stats.NewRand(seed)
 	dev := dram.NewDevice(d, seed^0x5ca1ab1e)
 	ctrl := memctrl.New(a, m, dev)
-	return &Session{
+	s := &Session{
 		Arch: a, DIMM: d, Map: m, Dev: dev, Ctrl: ctrl,
 		Eng:       cpu.NewEngine(a, ctrl, r),
 		Rand:      r,
 		progCache: make(map[progKey]*cpu.Program),
-	}, nil
+	}
+	if simcheckFromEnv() {
+		s.EnableAudit()
+	}
+	return s, nil
 }
 
 // program returns the lowered program for (pat, cfg, bank, baseRow),

@@ -1,0 +1,101 @@
+package hammer
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+)
+
+// Table-driven edge cases for the pre-tuned counter-speculation
+// constants: every known generation, plus unknown generations that must
+// fall to the conservative default rather than misbehave.
+func TestTunedNopsTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		gen        int
+		wantSingle int
+		wantMulti  int
+	}{
+		{"comet-lake", 10, 190, 70},
+		{"rocket-lake", 11, 200, 80},
+		{"alder-lake", 12, 230, 95},
+		{"raptor-lake", 14, 260, 110},
+		{"unknown-older", 9, 260, 110},
+		{"unknown-newer", 15, 260, 110},
+		{"unknown-zero", 0, 260, 110},
+		{"unknown-negative", -1, 260, 110},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			a := &arch.Arch{Name: c.name, Generation: c.gen}
+			if got := TunedNops(a); got != c.wantSingle {
+				t.Errorf("TunedNops(gen %d) = %d, want %d", c.gen, got, c.wantSingle)
+			}
+			if got := TunedNopsMulti(a); got != c.wantMulti {
+				t.Errorf("TunedNopsMulti(gen %d) = %d, want %d", c.gen, got, c.wantMulti)
+			}
+			if TunedNopsMulti(a) >= TunedNops(a) {
+				t.Error("multi-bank NOP count must be below the single-bank one: interleaving already paces each bank")
+			}
+		})
+	}
+}
+
+// The recommended configurations must be directly usable on every real
+// platform/DIMM pair: positive NOPs, a bank width the platform mapping
+// actually has, and acceptance by the session's config validation at
+// the exact bank-count boundary.
+func TestRecommendedConfigsValid(t *testing.T) {
+	for _, a := range arch.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			s := newTestSession(t, a, arch.DIMMS3())
+			banks := s.Map.Banks()
+
+			for _, cfg := range []Config{Recommended(a), RecommendedSingleBank(a)} {
+				cfg := cfg
+				if cfg.Nops <= 0 {
+					t.Errorf("%s: non-positive tuned NOPs", cfg)
+				}
+				if cfg.Banks < 1 || cfg.Banks > banks {
+					t.Errorf("%s: bank width %d outside [1, %d]", cfg, cfg.Banks, banks)
+				}
+				if err := cfg.validate(banks); err != nil {
+					t.Errorf("%s rejected by validation: %v", cfg, err)
+				}
+			}
+
+			// Boundary bank counts: the platform's full width is the
+			// last accepted value, one past it the first rejected, and
+			// zero is normalized up to a single bank.
+			edge := Recommended(a)
+			edge.Banks = banks
+			if err := edge.validate(banks); err != nil {
+				t.Errorf("full-width config rejected: %v", err)
+			}
+			edge.Banks = banks + 1
+			if err := edge.validate(banks); err == nil {
+				t.Errorf("config with %d banks accepted on a %d-bank platform", banks+1, banks)
+			}
+			edge.Banks = 0
+			if err := edge.validate(banks); err != nil || edge.Banks != 1 {
+				t.Errorf("zero bank width not normalized to 1 (banks=%d err=%v)", edge.Banks, err)
+			}
+		})
+	}
+}
+
+// OptimalBanks must stay inside every supported platform's bank count —
+// it feeds Recommended unconditionally.
+func TestOptimalBanksWithinPlatforms(t *testing.T) {
+	for _, a := range arch.All() {
+		if OptimalBanks(a) < 1 {
+			t.Errorf("%s: OptimalBanks < 1", a.Name)
+		}
+		s := newTestSession(t, a, arch.DIMMS1())
+		if OptimalBanks(a) > s.Map.Banks() {
+			t.Errorf("%s: OptimalBanks %d exceeds mapping banks %d", a.Name, OptimalBanks(a), s.Map.Banks())
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package memctrl
+
+import (
+	"strings"
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+	"rhohammer/internal/mapping"
+)
+
+func newAuditController(t *testing.T) *Controller {
+	t.Helper()
+	a := arch.CometLake()
+	d := arch.DIMMS3()
+	m, ok := mapping.ForPlatform(a.MappingFamily, d.SizeGiB)
+	if !ok {
+		t.Fatalf("no mapping for %s at %d GiB", a.MappingFamily, d.SizeGiB)
+	}
+	return New(a, m, dram.NewDevice(d, 1))
+}
+
+// TestAuditPassesOnHealthyCache runs audited accesses over a working
+// decode cache: every hit re-derivation must agree, silently.
+func TestAuditPassesOnHealthyCache(t *testing.T) {
+	c := newAuditController(t)
+	c.EnableAudit()
+	now := 0.0
+	for i := 0; i < 2000; i++ {
+		pa := uint64(i%7) * 0x40
+		now, _ = c.Access(pa, now)
+	}
+	if c.Stats().Accesses != 2000 {
+		t.Fatalf("accesses = %d, want 2000", c.Stats().Accesses)
+	}
+}
+
+// TestAuditCatchesCorruptDecodeEntry corrupts one cached translation
+// and verifies the audit panics at its first use, naming the address
+// and both translations. Without the audit the corruption silently
+// mis-steers every subsequent activation of that address.
+func TestAuditCatchesCorruptDecodeEntry(t *testing.T) {
+	c := newAuditController(t)
+	c.EnableAudit()
+	const pa = uint64(0x1240)
+	c.Access(pa, 0) // populate the cache entry
+
+	e := &c.decode[((pa>>6)^(pa>>18))&decodeMask]
+	if !e.ok || e.pa != pa {
+		t.Fatal("decode entry not populated where expected")
+	}
+	e.row++ // the corruption
+
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("audit did not panic on a corrupted decode entry")
+		}
+		msg, ok := p.(string)
+		if !ok {
+			t.Fatalf("panic payload %v is not the audit message", p)
+		}
+		for _, want := range []string{"memctrl: audit", "0x1240", "mapping says"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("audit panic missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	c.Access(pa, 100)
+}
+
+// TestAuditOffIgnoresCorruption pins the gating: with audit disabled a
+// corrupted entry is (silently) trusted — the exact failure mode the
+// simcheck mode exists to expose.
+func TestAuditOffIgnoresCorruption(t *testing.T) {
+	c := newAuditController(t)
+	const pa = uint64(0x2280)
+	c.Access(pa, 0)
+	e := &c.decode[((pa>>6)^(pa>>18))&decodeMask]
+	e.row++
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("unaudited access panicked: %v", p)
+		}
+	}()
+	c.Access(pa, 100)
+}

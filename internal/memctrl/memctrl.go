@@ -106,8 +106,19 @@ type Controller struct {
 	// bookkeeping; the mapping is immutable, so entries never go stale.
 	decode []decodeEntry
 
+	// audit, when set (simcheck mode), cross-checks every decode-cache
+	// hit against a fresh mapping computation and panics on any stale
+	// entry. Off by default: the only cost is a branch on the hit path.
+	audit bool
+
 	stats Stats
 }
+
+// EnableAudit turns on the controller-side invariant audit (simcheck
+// mode): every decode-cache hit is re-derived from the immutable mapping
+// and compared, so a corrupted or stale cache entry fails loudly at its
+// first use instead of silently mis-steering activations.
+func (c *Controller) EnableAudit() { c.audit = true }
 
 // Decode-cache geometry: aggressor lines differ in row bits and in the
 // low bits the bank solver flips, so both ranges feed the index.
@@ -129,6 +140,12 @@ type decodeEntry struct {
 func (c *Controller) decodeAddr(pa uint64) (int, int64) {
 	e := &c.decode[((pa>>6)^(pa>>18))&decodeMask]
 	if e.ok && e.pa == pa {
+		if c.audit {
+			if bank, row := c.Map.Bank(pa), int64(c.Map.Row(pa)); int32(bank) != e.bank || row != e.row {
+				panic(fmt.Sprintf("memctrl: audit: decode cache for pa=%#x holds (bank=%d,row=%d), mapping says (bank=%d,row=%d)",
+					pa, e.bank, e.row, bank, row))
+			}
+		}
 		return int(e.bank), e.row
 	}
 	bank := c.Map.Bank(pa)

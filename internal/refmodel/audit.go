@@ -1,0 +1,343 @@
+package refmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"rhohammer/internal/dram"
+)
+
+// The simcheck audit mode: an Auditor shadows a live dram.Device
+// event-for-event (via dram.Device.AttachShadow), maintains a reference
+// Device fed the identical event stream, and diffs the two models at
+// every refresh boundary — flip sets, targeted-refresh trigger
+// sequences, mitigation counters, and effective per-row state. The
+// first divergence is captured with full context (the event indices and
+// a tail of recent events) and, by default, raised as a panic: a
+// divergence means the optimized substrate no longer implements the
+// model, and nothing downstream of it can be trusted.
+
+// auditRecentEvents is how many trailing events a Divergence report
+// carries as context.
+const auditRecentEvents = 8
+
+// auditEvent is one substrate event retained for divergence context.
+type auditEvent struct {
+	kind string // "ACT", "REF", "RESET"
+	bank int
+	row  uint64
+	at   float64
+	idx  uint64 // global event index
+}
+
+func (e auditEvent) String() string {
+	if e.kind == "ACT" {
+		return fmt.Sprintf("#%d %s bank=%d row=%d t=%.1f", e.idx, e.kind, e.bank, e.row, e.at)
+	}
+	return fmt.Sprintf("#%d %s t=%.1f", e.idx, e.kind, e.at)
+}
+
+// Divergence describes the first point at which the production model
+// and the reference model disagreed.
+type Divergence struct {
+	// Field names the diverging observable: "flip", "trr-trigger",
+	// "act-count", "ref-count", "trr-events", "rfm-events",
+	// "rowswap-events", "row-disturbance", or "row-acts".
+	Field string
+	// Bank and Row locate the divergence for per-row fields; Index is
+	// the position in the flip or trigger sequence for sequence fields.
+	Bank  int
+	Row   uint64
+	Index int
+	// Fast and Ref render the two models' values.
+	Fast string
+	Ref  string
+	// EventIndex and RefIndex say when the divergence was detected:
+	// after the EventIndex-th substrate event, at the RefIndex-th
+	// refresh boundary. The divergent event itself lies between the
+	// previous audited boundary and this one.
+	EventIndex uint64
+	RefIndex   uint64
+	// Recent is the tail of substrate events leading up to detection.
+	Recent []auditEvent
+}
+
+// String renders the actionable first-divergence report.
+func (d *Divergence) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "simcheck: fast model diverged from reference model\n")
+	fmt.Fprintf(&sb, "  field: %s", d.Field)
+	switch d.Field {
+	case "flip", "trr-trigger":
+		fmt.Fprintf(&sb, " (sequence position %d)", d.Index)
+	case "row-disturbance", "row-acts":
+		fmt.Fprintf(&sb, " (bank=%d row=%d)", d.Bank, d.Row)
+	}
+	fmt.Fprintf(&sb, "\n  fast:  %s\n  ref:   %s\n", d.Fast, d.Ref)
+	fmt.Fprintf(&sb, "  detected after event #%d, at refresh boundary #%d\n", d.EventIndex, d.RefIndex)
+	fmt.Fprintf(&sb, "  recent events:\n")
+	for _, e := range d.Recent {
+		fmt.Fprintf(&sb, "    %s\n", e)
+	}
+	sb.WriteString("  (replay the same seed with RHOHAMMER_SIMCHECK=1 to reproduce deterministically)")
+	return sb.String()
+}
+
+// Error makes a Divergence usable as an error value.
+func (d *Divergence) Error() string { return d.String() }
+
+// Auditor shadows a dram.Device with a reference Device and diffs the
+// two at refresh boundaries. Create one with NewAuditor; it attaches
+// itself as the device's shadow.
+type Auditor struct {
+	Fast *dram.Device
+	Ref  *Device
+
+	// PanicOnDivergence raises the first divergence as a panic instead
+	// of just recording it. The env-gated simcheck mode sets it: a
+	// diverging substrate must not keep producing results.
+	PanicOnDivergence bool
+
+	// Every diffs only every N-th refresh boundary (default 1). Row
+	// state diffing walks every touched row, so sparse checking trades
+	// detection latency for audit speed on long runs.
+	Every uint64
+
+	div       *Divergence
+	diffCount uint64
+	eventIdx  uint64
+	recent    []auditEvent
+}
+
+// NewAuditor builds a reference model mirroring the device's profile,
+// seed and mitigation configuration, and attaches it as the device's
+// shadow. From this point every Activate/Refresh/Reset on the device is
+// replayed into the reference model, and every refresh boundary is
+// audited.
+//
+// The device must be freshly created (or Reset): the reference model
+// starts empty, so shadowing a device with accumulated state diverges
+// immediately.
+func NewAuditor(fast *dram.Device) *Auditor {
+	a := &Auditor{
+		Fast:  fast,
+		Ref:   NewDevice(fast.DIMM, fast.Seed),
+		Every: 1,
+	}
+	fast.AttachShadow(a)
+	return a
+}
+
+// syncConfig mirrors mitigation toggles that may be flipped after
+// device creation (EnablePTRR, EnableRowSwap).
+func (a *Auditor) syncConfig() {
+	a.Ref.PTRR = a.Fast.PTRR
+	if on, period := a.Fast.RowSwapConfig(); on && !a.Ref.swap.enabled {
+		a.Ref.EnableRowSwap(period)
+	}
+}
+
+// record retains an event in the context tail.
+func (a *Auditor) record(kind string, bank int, row uint64, at float64) {
+	a.eventIdx++
+	a.recent = append(a.recent, auditEvent{kind: kind, bank: bank, row: row, at: at, idx: a.eventIdx})
+	if len(a.recent) > auditRecentEvents {
+		a.recent = a.recent[1:]
+	}
+}
+
+// Activate implements dram.Shadow.
+func (a *Auditor) Activate(bank int, row uint64, now float64) {
+	a.record("ACT", bank, row, now)
+	a.syncConfig()
+	a.Ref.Activate(bank, row, now)
+}
+
+// Refresh implements dram.Shadow: the reference model processes the
+// same REF, then the two models are diffed.
+func (a *Auditor) Refresh(now float64) {
+	a.record("REF", 0, 0, now)
+	a.syncConfig()
+	a.Ref.Refresh(now)
+	a.diffCount++
+	every := a.Every
+	if every == 0 {
+		every = 1
+	}
+	if a.div == nil && a.diffCount%every == 0 {
+		a.diff()
+	}
+}
+
+// Reset implements dram.Shadow.
+func (a *Auditor) Reset() {
+	a.record("RESET", 0, 0, 0)
+	a.Ref.Reset()
+}
+
+// Divergence returns the first recorded divergence, or nil.
+func (a *Auditor) Divergence() *Divergence { return a.div }
+
+// Err returns the first divergence as an error, or nil if the models
+// agree on every audited boundary so far.
+func (a *Auditor) Err() error {
+	if a.div == nil {
+		return nil
+	}
+	return a.div
+}
+
+// Check diffs the two models immediately (outside a refresh boundary,
+// e.g. at the end of a run) and returns the first divergence as an
+// error, or nil.
+func (a *Auditor) Check() error {
+	if a.div == nil {
+		a.diff()
+	}
+	return a.Err()
+}
+
+// InjectRefDisturbance perturbs the reference model's accumulator for
+// one row. Tests use it to prove the audit detects — and usefully
+// reports — a seeded divergence.
+func (a *Auditor) InjectRefDisturbance(bank int, row uint64, delta float64) {
+	a.Ref.rowState(bank, row).disturbance += delta
+}
+
+// report records the first divergence and, if configured, panics.
+func (a *Auditor) report(d *Divergence) {
+	d.EventIndex = a.eventIdx
+	d.RefIndex = a.Fast.RefreshCount()
+	d.Recent = append([]auditEvent(nil), a.recent...)
+	a.div = d
+	if a.PanicOnDivergence {
+		panic(d.String())
+	}
+}
+
+// diff compares every audited observable, stopping at the first
+// mismatch: the flip sequence, the targeted-refresh trigger sequence,
+// the event counters, then effective per-row state.
+func (a *Auditor) diff() {
+	fastFlips, refFlips := a.Fast.Flips(), a.Ref.Flips()
+	for i := 0; i < len(fastFlips) || i < len(refFlips); i++ {
+		var f, r string
+		switch {
+		case i >= len(fastFlips):
+			f, r = "(missing)", flipString(refFlips[i])
+		case i >= len(refFlips):
+			f, r = flipString(fastFlips[i]), "(missing)"
+		case fastFlips[i] != refFlips[i]:
+			f, r = flipString(fastFlips[i]), flipString(refFlips[i])
+		default:
+			continue
+		}
+		a.report(&Divergence{Field: "flip", Index: i, Fast: f, Ref: r})
+		return
+	}
+
+	fastTRR, refTRR := a.Fast.TakeTRRTriggers(), a.Ref.TakeTRRTriggers()
+	for i := 0; i < len(fastTRR) || i < len(refTRR); i++ {
+		var f, r string
+		switch {
+		case i >= len(fastTRR):
+			f, r = "(missing)", fmt.Sprintf("%+v", refTRR[i])
+		case i >= len(refTRR):
+			f, r = fmt.Sprintf("%+v", fastTRR[i]), "(missing)"
+		case fastTRR[i] != refTRR[i]:
+			f, r = fmt.Sprintf("%+v", fastTRR[i]), fmt.Sprintf("%+v", refTRR[i])
+		default:
+			continue
+		}
+		a.report(&Divergence{Field: "trr-trigger", Index: i, Fast: f, Ref: r})
+		return
+	}
+
+	counters := []struct {
+		field     string
+		fast, ref uint64
+	}{
+		{"act-count", a.Fast.ActivationCount(), a.Ref.ActivationCount()},
+		{"ref-count", a.Fast.RefreshCount(), a.Ref.RefreshCount()},
+		{"trr-events", a.Fast.TRREvents(), a.Ref.TRREvents()},
+		{"rfm-events", a.Fast.RFMEvents(), a.Ref.RFMEvents()},
+		{"rowswap-events", a.Fast.RowSwapEvents(), a.Ref.RowSwapEvents()},
+	}
+	for _, c := range counters {
+		if c.fast != c.ref {
+			a.report(&Divergence{Field: c.field, Fast: fmt.Sprint(c.fast), Ref: fmt.Sprint(c.ref)})
+			return
+		}
+	}
+
+	a.diffRows()
+}
+
+// rowKey packs (bank, row) for the row-state diff maps.
+func auditKey(bank int, row uint64) uint64 { return row | uint64(bank)<<48 }
+
+// rowObs is one model's view of a row.
+type rowObs struct {
+	disturbance float64
+	acts        uint64
+}
+
+// diffRows compares effective disturbance and activation counts across
+// the union of both models' touched rows, reporting the first mismatch
+// in (bank, row) order. Rows absent from one model compare as zero.
+func (a *Auditor) diffRows() {
+	fast := map[uint64]rowObs{}
+	keys := []uint64{}
+	a.Fast.VisitRows(func(bank int, row uint64, disturbance float64, acts uint64) {
+		k := auditKey(bank, row)
+		fast[k] = rowObs{disturbance, acts}
+		keys = append(keys, k)
+	})
+	seen := map[uint64]bool{}
+	var firstDiv *Divergence
+	a.Ref.VisitRows(func(bank int, row uint64, disturbance float64, acts uint64) {
+		if firstDiv != nil {
+			return
+		}
+		k := auditKey(bank, row)
+		seen[k] = true
+		if f := fast[k]; f.disturbance != disturbance || f.acts != acts {
+			firstDiv = a.rowDivergence(bank, row, f, rowObs{disturbance, acts})
+		}
+	})
+	if firstDiv == nil {
+		for _, k := range keys {
+			if !seen[k] {
+				f := fast[k]
+				if f.disturbance != 0 || f.acts != 0 {
+					bank, row := int(k>>48), k&((1<<48)-1)
+					firstDiv = a.rowDivergence(bank, row, f, rowObs{})
+					break
+				}
+			}
+		}
+	}
+	if firstDiv != nil {
+		a.report(firstDiv)
+	}
+}
+
+// rowDivergence builds the per-row report, naming the first differing
+// component.
+func (a *Auditor) rowDivergence(bank int, row uint64, f, r rowObs) *Divergence {
+	if f.disturbance != r.disturbance {
+		return &Divergence{
+			Field: "row-disturbance", Bank: bank, Row: row,
+			Fast: fmt.Sprintf("%g", f.disturbance), Ref: fmt.Sprintf("%g", r.disturbance),
+		}
+	}
+	return &Divergence{
+		Field: "row-acts", Bank: bank, Row: row,
+		Fast: fmt.Sprint(f.acts), Ref: fmt.Sprint(r.acts),
+	}
+}
+
+// flipString renders one flip with its timestamp for reports.
+func flipString(f dram.Flip) string {
+	return fmt.Sprintf("%s t=%.1f", f.String(), f.Time)
+}

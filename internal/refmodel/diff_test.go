@@ -1,0 +1,270 @@
+package refmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+)
+
+// tracesPerProfile returns how many random traces the differential
+// sweep runs per DIMM profile: 1000 in full mode (the acceptance bar),
+// 100 under -short.
+func tracesPerProfile() int {
+	if testing.Short() {
+		return 100
+	}
+	return 1000
+}
+
+// randomTrace draws one encoded trace from rng.
+func randomTrace(rng *rand.Rand) []byte {
+	data := make([]byte, 4+rng.Intn(28))
+	rng.Read(data)
+	return data
+}
+
+// TestDifferentialRandomTraces is the tentpole property: for every DIMM
+// profile, random activation traces produce bit-identical observables
+// in the production model and the reference model — flip sets (order
+// and timestamps included), targeted-refresh trigger sequences, event
+// counters, and effective per-row state at every refresh boundary.
+func TestDifferentialRandomTraces(t *testing.T) {
+	n := tracesPerProfile()
+	for pi, d := range traceProfiles() {
+		pi, d := pi, d
+		t.Run(d.ID, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(0xD1FF + int64(pi)))
+			var flips, triggers, rfmSweeps int
+			for trial := 0; trial < n; trial++ {
+				seed := rng.Int63()
+				data := randomTrace(rng)
+				aud := runTrace(d, seed, data)
+				if err := aud.Check(); err != nil {
+					t.Fatalf("trace %d (seed=%d data=%x) diverged:\n%v", trial, seed, data, err)
+				}
+				flips += len(aud.Fast.Flips())
+				triggers += int(aud.Fast.TRREvents())
+				rfmSweeps += int(aud.Fast.RFMEvents())
+			}
+			t.Logf("%s: %d traces, %d flips, %d targeted refreshes, %d RFM sweeps",
+				d.ID, n, flips, triggers, rfmSweeps)
+			if triggers == 0 {
+				t.Errorf("%s: no targeted refresh fired across %d traces; traces are not exercising TRR", d.ID, n)
+			}
+			if !d.Flippable && flips != 0 {
+				t.Errorf("%s is modeled as invulnerable but flipped %d cells", d.ID, flips)
+			}
+			if d.DDR5 && rfmSweeps == 0 {
+				t.Errorf("%s: no RFM sweep fired across %d traces; traces are not exercising RFM", d.ID, n)
+			}
+			// The sweep must not be vacuous: on the most flip-prone
+			// module the traces have to actually cross cell thresholds.
+			if d.ID == "S4" && flips == 0 {
+				t.Errorf("S4: no flips across %d traces; traces never reach flip thresholds", n)
+			}
+		})
+	}
+}
+
+// TestDifferentialMitigationTraces pins the mitigation machinery
+// specifically: pTRR and row-swap both enabled, which routes every
+// trace through the counter table, the sweep sort, and the remap layer
+// of both models.
+func TestDifferentialMitigationTraces(t *testing.T) {
+	n := tracesPerProfile() / 4
+	d := arch.DIMMS4()
+	rng := rand.New(rand.NewSource(0x5EED))
+	var swaps uint64
+	for trial := 0; trial < n; trial++ {
+		seed := rng.Int63()
+		data := randomTrace(rng)
+		if len(data) > 0 {
+			data[0] |= 3 // force pTRR + row-swap on
+		}
+		aud := runTrace(d, seed, data)
+		if err := aud.Check(); err != nil {
+			t.Fatalf("trace %d (seed=%d data=%x) diverged:\n%v", trial, seed, data, err)
+		}
+		swaps += aud.Fast.RowSwapEvents()
+	}
+	if swaps == 0 {
+		t.Errorf("no row swap occurred across %d mitigation traces", n)
+	}
+}
+
+// TestInjectedDivergence proves the audit actually detects and usefully
+// reports a divergence: perturbing one row of the reference model must
+// surface at the next refresh boundary with the row named and event
+// context attached.
+func TestInjectedDivergence(t *testing.T) {
+	d := arch.DIMMS4()
+	dev := dram.NewDevice(d, 99)
+	aud := NewAuditor(dev)
+
+	now := 0.0
+	for i := 0; i < 3000; i++ {
+		dev.Activate(0, 100, now)
+		now += 6
+	}
+	// Row 500 is far outside the hammered neighborhood, so no targeted
+	// refresh can clear the perturbation before the boundary diff.
+	aud.InjectRefDisturbance(0, 500, 7.5)
+	dev.Refresh(now)
+
+	div := aud.Divergence()
+	if div == nil {
+		t.Fatal("injected reference perturbation was not detected at the refresh boundary")
+	}
+	if div.Field != "row-disturbance" {
+		t.Fatalf("divergence field = %q, want row-disturbance", div.Field)
+	}
+	if div.Bank != 0 || div.Row != 500 {
+		t.Fatalf("divergence located at bank=%d row=%d, want bank=0 row=500", div.Bank, div.Row)
+	}
+	msg := div.String()
+	for _, want := range []string{"row-disturbance", "bank=0 row=500", "recent events", "ACT bank=0 row=100", "refresh boundary"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("divergence report missing %q:\n%s", want, msg)
+		}
+	}
+	if err := aud.Err(); err == nil {
+		t.Error("Err() = nil after a recorded divergence")
+	}
+}
+
+// TestAuditorPanicOnDivergence verifies the env-gated mode's contract:
+// with PanicOnDivergence set, the first divergence raises a panic whose
+// message carries the report.
+func TestAuditorPanicOnDivergence(t *testing.T) {
+	d := arch.DIMMS1()
+	dev := dram.NewDevice(d, 7)
+	aud := NewAuditor(dev)
+	aud.PanicOnDivergence = true
+	aud.InjectRefDisturbance(0, 50, 3)
+
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic despite PanicOnDivergence and an injected divergence")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "simcheck") {
+			t.Fatalf("panic payload %v does not carry the simcheck report", p)
+		}
+	}()
+	dev.Activate(0, 200, 0)
+	dev.Refresh(100)
+}
+
+// TestSeedDeterminism is the metamorphic seed invariant: the same trace
+// under the same seed yields byte-identical flip logs and counters on
+// two independent device instances — including with row-swap enabled,
+// whose sweep once iterated a Go map nondeterministically.
+func TestSeedDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xDE7))
+	d := arch.DIMMS3()
+	for trial := 0; trial < 20; trial++ {
+		seed := rng.Int63()
+		data := randomTrace(rng)
+		data = append([]byte{3}, data...) // pTRR + row-swap on
+		a1 := runTrace(d, seed, data)
+		a2 := runTrace(d, seed, data)
+		f1, f2 := a1.Fast.Flips(), a2.Fast.Flips()
+		if len(f1) != len(f2) {
+			t.Fatalf("trial %d: run1 %d flips, run2 %d flips", trial, len(f1), len(f2))
+		}
+		for i := range f1 {
+			if f1[i] != f2[i] {
+				t.Fatalf("trial %d flip %d: %+v vs %+v", trial, i, f1[i], f2[i])
+			}
+		}
+		if a1.Fast.RowSwapEvents() != a2.Fast.RowSwapEvents() || a1.Fast.TRREvents() != a2.Fast.TRREvents() {
+			t.Fatalf("trial %d: mitigation counters differ across identical runs", trial)
+		}
+	}
+}
+
+// TestFlipMonotonicity is the metamorphic hammer-count invariant:
+// within one refresh interval, hammering the same aggressor longer
+// never un-flips a cell — the flip log of N activations is a prefix of
+// the flip log of 2N.
+func TestFlipMonotonicity(t *testing.T) {
+	d := arch.DIMMS4()
+	run := func(n int) []dram.Flip {
+		dev := dram.NewDevice(d, 4242)
+		now := 0.0
+		for i := 0; i < n; i++ {
+			dev.Activate(0, 300, now)
+			dev.Activate(0, 302, now+3)
+			now += 6
+		}
+		return append([]dram.Flip(nil), dev.Flips()...)
+	}
+	prev := []dram.Flip{}
+	for _, n := range []int{10_000, 20_000, 40_000, 80_000} {
+		cur := run(n)
+		if len(cur) < len(prev) {
+			t.Fatalf("flips decreased from %d to %d when doubling to %d activations", len(prev), len(cur), n)
+		}
+		for i := range prev {
+			if cur[i] != prev[i] {
+				t.Fatalf("flip %d changed between budgets: %+v vs %+v", i, prev[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+	if len(prev) == 0 {
+		t.Fatal("double-sided hammering at 80k activations produced no flips; invariant test is vacuous")
+	}
+}
+
+// TestM1Invulnerable is the paper's M1 observation as a property: no
+// trace, however heavy, flips a cell on the M1 module — in either
+// model.
+func TestM1Invulnerable(t *testing.T) {
+	d := arch.DIMMM1()
+	rng := rand.New(rand.NewSource(0x0041))
+	for trial := 0; trial < 25; trial++ {
+		aud := runTrace(d, rng.Int63(), randomTrace(rng))
+		if err := aud.Check(); err != nil {
+			t.Fatalf("trial %d diverged:\n%v", trial, err)
+		}
+		if n := len(aud.Fast.Flips()); n != 0 {
+			t.Fatalf("trial %d: M1 flipped %d cells", trial, n)
+		}
+		if n := len(aud.Ref.Flips()); n != 0 {
+			t.Fatalf("trial %d: reference model flipped %d cells on M1", trial, n)
+		}
+	}
+}
+
+// TestResetPreservesEquivalence drives both models through a
+// Reset-heavy trace and confirms the post-Reset contract (vulnerability
+// map preserved, disturbance and counters cleared) holds identically.
+func TestResetPreservesEquivalence(t *testing.T) {
+	d := arch.DIMMS2()
+	dev := dram.NewDevice(d, 11)
+	aud := NewAuditor(dev)
+	now := 0.0
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 70_000; i++ {
+			dev.Activate(0, 40, now)
+			dev.Activate(0, 42, now+3)
+			now += 6
+		}
+		dev.Refresh(now)
+		if err := aud.Check(); err != nil {
+			t.Fatalf("round %d diverged:\n%v", round, err)
+		}
+		if round == 0 && len(dev.Flips()) == 0 {
+			t.Fatal("no flips before Reset; test is vacuous")
+		}
+		dev.Reset()
+		if err := aud.Check(); err != nil {
+			t.Fatalf("post-Reset round %d diverged:\n%v", round, err)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package refmodel
+
+import (
+	"testing"
+)
+
+// FuzzDifferentialTrace feeds arbitrary encoded traces (see
+// trace_test.go for the encoding) through the production device with
+// the reference auditor attached: any observable divergence between the
+// two models is a finding. The seed selects the DIMM profile alongside
+// the vulnerability map, so one corpus covers the whole profile matrix
+// including M1 (invulnerable) and D1 (DDR5/RFM).
+func FuzzDifferentialTrace(f *testing.F) {
+	f.Add(int64(1), []byte{0x00, 0x10, 0x04, 0xff, 0x04, 0xff, 0x02, 0x04, 0xff})
+	f.Add(int64(2), []byte{0x03, 0x40, 0x08, 0x80, 0x02, 0x0f, 0x08, 0x80, 0x02})
+	f.Add(int64(6), []byte{0x01, 0x05, 0x0c, 0xc0, 0x0b, 0x30, 0x2c, 0x90, 0x07, 0x02})
+	f.Add(int64(7), []byte{0x02, 0xff, 0x04, 0xff, 0x04, 0xff, 0x04, 0xff, 0x02, 0x10, 0xff})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		profiles := traceProfiles()
+		idx := int(uint64(seed) % uint64(len(profiles)))
+		aud := runTrace(profiles[idx], seed, data)
+		if err := aud.Check(); err != nil {
+			t.Fatalf("models diverged on %s (seed=%d data=%x):\n%v",
+				profiles[idx].ID, seed, data, err)
+		}
+	})
+}

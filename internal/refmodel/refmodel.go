@@ -1,0 +1,518 @@
+// Package refmodel is a deliberately slow, obviously-correct reference
+// implementation of the disturbance substrate modeled by internal/dram:
+// per-row charge accumulation within refresh windows, per-cell flip
+// thresholds, regular refresh, DDR4 TRR sampling, platform pTRR, DDR5
+// RFM, randomized row-swap, and the two-row blast radius.
+//
+// Everything is straight-line, map-based code with no caches: no
+// direct-mapped row cache, no neighbor pinning, no epoch memoization,
+// no gate fast path, no deferred TRR-log replay, no open-addressing
+// counter table. Where internal/dram earns its speed with layered
+// memoization, this package recomputes from first principles on every
+// event — which is exactly what makes it a useful differential oracle.
+// The two implementations must agree bit-for-bit on every observable:
+// flip sets (including order and timestamps), targeted-refresh trigger
+// sequences, mitigation event counters, and effective per-row
+// disturbance at any refresh boundary.
+//
+// The package serves two consumers: property/fuzz tests that replay the
+// same random trace into both models and diff the results, and the
+// simcheck audit mode (see Auditor), which shadows a live production
+// device event-for-event and reports the first divergence with full
+// context.
+package refmodel
+
+import (
+	"math"
+	"sort"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+)
+
+// blastWeight returns the disturbance one activation deposits on a
+// neighbor at the given row distance (the same two-distance coupling
+// internal/dram uses: full strength at distance 1, an order of
+// magnitude weaker at distance 2).
+func blastWeight(dist uint64) float64 {
+	switch dist {
+	case 1:
+		return 1.0
+	case 2:
+		return 0.08
+	default:
+		return 0
+	}
+}
+
+// weakCell is one flippable cell of a row.
+type weakCell struct {
+	threshold float64
+	byteInRow int
+	bit       uint8
+	oneToZero bool
+	flipped   bool
+}
+
+// row is the complete state of one touched row: activation count (on
+// the logical address), in-window disturbance (on the physical
+// address), the refresh epoch of the last disturbance update, and the
+// row's seeded weak-cell population.
+type row struct {
+	acts        uint64
+	disturbance float64
+	epoch       uint64
+	cells       []weakCell
+}
+
+// Device is the reference DIMM model. It implements the same substrate
+// interface as dram.Device (Activate/Refresh/Reset) and the same
+// observables, from an independent implementation.
+type Device struct {
+	DIMM *arch.DIMM
+	Seed int64
+
+	// PTRR enables the platform pseudo-TRR mitigation, mirroring
+	// dram.Device.PTRR.
+	PTRR bool
+
+	banks        int
+	rows         uint64
+	rowsPerSlice uint64
+
+	// state maps bank -> row -> state; rows materialize (weak cells and
+	// all) on first touch.
+	state []map[uint64]*row
+
+	// trr holds the per-bank DDR4 TRR samplers, fed at activation time
+	// (the production model defers sampling to the REF boundary via a
+	// log; feeding at activation time is semantically identical and
+	// independently implemented).
+	trr []sampler
+
+	// ptrr is the per-interval activation counter behind pTRR, as a
+	// plain insertion-ordered list.
+	ptrr []ptrrCount
+
+	// rfm is the per-bank DDR5 refresh-management state.
+	rfm []rfmBank
+
+	swap swapState
+
+	flips      []dram.Flip
+	triggers   []dram.TRRTrigger
+	refCount   uint64
+	actCount   uint64
+	trrEvents  uint64
+	rfmEvents  uint64
+	swapEvents uint64
+}
+
+// ptrrCount is one per-interval (bank, row) activation counter.
+type ptrrCount struct {
+	bank  int
+	row   uint64
+	count int
+}
+
+// rfmBank is the per-bank RFM bookkeeping.
+type rfmBank struct {
+	raa     int
+	sampler sampler
+}
+
+// swapState is the row-swap mitigation state.
+type swapState struct {
+	enabled bool
+	period  uint64
+	counter uint64
+	remap   []map[uint64]uint64
+	counts  []map[uint64]uint64
+}
+
+// NewDevice builds a reference device for the DIMM profile. The seed
+// must match the production device's for the two vulnerability maps to
+// coincide.
+func NewDevice(d *arch.DIMM, seed int64) *Device {
+	dev := &Device{
+		DIMM:  d,
+		Seed:  seed,
+		banks: d.TotalBanks(),
+		rows:  d.RowsPerBank,
+	}
+	dev.rowsPerSlice = dev.rows / dram.RefreshSlices
+	if dev.rowsPerSlice == 0 {
+		dev.rowsPerSlice = 1
+	}
+	dev.state = make([]map[uint64]*row, dev.banks)
+	for i := range dev.state {
+		dev.state[i] = make(map[uint64]*row)
+	}
+	dev.trr = make([]sampler, dev.banks)
+	for i := range dev.trr {
+		dev.trr[i] = newSampler(d.TRRSamplerSize)
+	}
+	if d.DDR5 {
+		dev.rfm = make([]rfmBank, dev.banks)
+		for i := range dev.rfm {
+			dev.rfm[i].sampler = newSampler(d.RFMSamplerSize)
+		}
+	}
+	return dev
+}
+
+// Banks returns the number of geographic banks.
+func (d *Device) Banks() int { return d.banks }
+
+// Rows returns the number of rows per bank.
+func (d *Device) Rows() uint64 { return d.rows }
+
+// row returns the state record for (bank, row), materializing the row —
+// weak cells included — on first touch. Eager materialization is safe:
+// the lowest threshold any profile can draw is exp(mu - sigma*maxNorm)
+// with maxNorm ≈ 8.6 (the Box-Muller reach of a 53-bit uniform), which
+// is above 6000 for every profile in internal/arch — far beyond the
+// production model's 512-activation deferral floor, so deferral can
+// never change which cells flip or when.
+func (d *Device) rowState(bank int, r uint64) *row {
+	st := d.state[bank][r]
+	if st == nil {
+		st = &row{epoch: d.rowEpoch(r)}
+		d.materialize(bank, r, st)
+		d.state[bank][r] = st
+	}
+	return st
+}
+
+// materialize draws the row's weak-cell population from the keyed
+// stream — a pure function of (seed, bank, row).
+func (d *Device) materialize(bank int, r uint64, st *row) {
+	if !d.DIMM.Flippable {
+		return
+	}
+	h := newKeyedRand(d.Seed, uint64(bank), r)
+	n := h.poisson(d.DIMM.WeakCellsPerRowLambda)
+	for i := 0; i < n; i++ {
+		st.cells = append(st.cells, weakCell{
+			threshold: math.Exp(h.norm()*d.DIMM.ThresholdSigma + d.DIMM.ThresholdMu),
+			byteInRow: int(h.next() % dram.RowBytes),
+			bit:       uint8(h.next() % 8),
+			oneToZero: h.next()&1 == 0,
+		})
+	}
+}
+
+// rowEpoch returns how many times the row's refresh slice has been
+// refreshed so far, computed directly from the REF counter.
+func (d *Device) rowEpoch(r uint64) uint64 {
+	slice := r / d.rowsPerSlice
+	if slice >= dram.RefreshSlices {
+		slice = dram.RefreshSlices - 1
+	}
+	return (d.refCount + dram.RefreshSlices - 1 - slice) / dram.RefreshSlices
+}
+
+// Activate registers one ACT on the logical (bank, row) at time now.
+func (d *Device) Activate(bank int, r uint64, now float64) {
+	d.actCount++
+	d.rowState(bank, r).acts++
+	if d.swap.enabled {
+		d.swapObserve(bank, r)
+		r = d.swapTarget(bank, r)
+	}
+	d.trr[bank].observe(r)
+	if d.PTRR {
+		d.ptrrAdd(bank, r)
+	}
+	if d.DIMM.DDR5 {
+		d.rfmObserve(bank, r)
+	}
+	// Blast radius, near pair before far pair — the flip log order
+	// contract.
+	for _, dist := range []uint64{1, 2} {
+		w := blastWeight(dist)
+		if r >= dist {
+			d.disturb(bank, r-dist, w, now)
+		}
+		if r+dist < d.rows {
+			d.disturb(bank, r+dist, w, now)
+		}
+	}
+}
+
+// disturb deposits disturbance w on the victim (bank, row), restarting
+// the accumulator if the row's refresh slice has passed since its last
+// update, and records every threshold crossing as a flip.
+func (d *Device) disturb(bank int, r uint64, w float64, now float64) {
+	st := d.rowState(bank, r)
+	if e := d.rowEpoch(r); e != st.epoch {
+		st.epoch = e
+		st.disturbance = 0
+	}
+	st.disturbance += w
+	for i := range st.cells {
+		c := &st.cells[i]
+		if !c.flipped && st.disturbance >= c.threshold {
+			c.flipped = true
+			d.flips = append(d.flips, dram.Flip{
+				Bank: bank, Row: r,
+				ByteInRow: c.byteInRow, Bit: c.bit,
+				OneToZero: c.oneToZero, Time: now,
+			})
+		}
+	}
+}
+
+// Refresh executes one REF command: the REF counter advances (regular
+// refresh is modeled by the epoch arithmetic), each bank's TRR logic
+// refreshes the neighborhoods of its top sampled aggressors, and pTRR
+// sweeps if enabled.
+func (d *Device) Refresh(now float64) {
+	d.refCount++
+	for bank := range d.trr {
+		for _, r := range d.trr[bank].top(d.DIMM.TRRRefreshPerREF) {
+			d.refreshNeighborhood(bank, r)
+		}
+		d.trr[bank].clear()
+	}
+	if d.PTRR {
+		d.ptrrSweep()
+	}
+}
+
+// refreshNeighborhood resets the disturbance of rows within the blast
+// radius of an identified aggressor.
+func (d *Device) refreshNeighborhood(bank int, r uint64) {
+	d.trrEvents++
+	d.triggers = append(d.triggers, dram.TRRTrigger{Bank: bank, Row: r})
+	for dist := uint64(1); dist <= 2; dist++ {
+		if r >= dist {
+			if st := d.state[bank][r-dist]; st != nil {
+				st.disturbance = 0
+			}
+		}
+		if r+dist < d.rows {
+			if st := d.state[bank][r+dist]; st != nil {
+				st.disturbance = 0
+			}
+		}
+	}
+}
+
+// ptrrAdd counts one activation for the pTRR sweep.
+func (d *Device) ptrrAdd(bank int, r uint64) {
+	for i := range d.ptrr {
+		if d.ptrr[i].bank == bank && d.ptrr[i].row == r {
+			d.ptrr[i].count++
+			return
+		}
+	}
+	d.ptrr = append(d.ptrr, ptrrCount{bank: bank, row: r, count: 1})
+}
+
+// ptrrSweep refreshes the neighborhoods of every row activated at least
+// 3 times this interval: highest count first, first-seen order breaking
+// ties, at most 64 rows per sweep.
+func (d *Device) ptrrSweep() {
+	var hot []ptrrCount
+	for _, e := range d.ptrr {
+		if e.count >= 3 {
+			hot = append(hot, e)
+		}
+	}
+	sort.SliceStable(hot, func(i, j int) bool { return hot[i].count > hot[j].count })
+	if len(hot) > 64 {
+		hot = hot[:64]
+	}
+	for _, e := range hot {
+		d.refreshNeighborhood(e.bank, e.row)
+	}
+	d.ptrr = d.ptrr[:0]
+}
+
+// rfmObserve accounts one activation against the bank's RAA counter and
+// performs the RFM mitigation sweep at the threshold.
+func (d *Device) rfmObserve(bank int, r uint64) {
+	st := &d.rfm[bank]
+	st.sampler.observe(r)
+	st.raa++
+	if st.raa < d.DIMM.RAAIMT {
+		return
+	}
+	for _, victim := range st.sampler.popTop(d.DIMM.RFMRefreshPerSweep) {
+		d.refreshNeighborhood(bank, victim)
+	}
+	st.raa = 0
+	d.rfmEvents++
+}
+
+// EnableRowSwap turns on the randomized row-swap mitigation with the
+// given swap period.
+func (d *Device) EnableRowSwap(period uint64) {
+	if period == 0 {
+		period = 2048
+	}
+	d.swap.enabled = true
+	d.swap.period = period
+	d.swap.remap = make([]map[uint64]uint64, d.banks)
+	d.swap.counts = make([]map[uint64]uint64, d.banks)
+	for i := range d.swap.remap {
+		d.swap.remap[i] = make(map[uint64]uint64)
+		d.swap.counts[i] = make(map[uint64]uint64)
+	}
+}
+
+// swapTarget resolves a logical row through the remap table.
+func (d *Device) swapTarget(bank int, r uint64) uint64 {
+	if phys, ok := d.swap.remap[bank][r]; ok {
+		return phys
+	}
+	return r
+}
+
+// swapObserve counts an activation and, when the swap period elapses,
+// relocates every row whose in-interval count crossed the threshold —
+// ascending row order, at most 8 per sweep.
+func (d *Device) swapObserve(bank int, r uint64) {
+	s := &d.swap
+	s.counts[bank][r]++
+	s.counter++
+	if s.counter%s.period != 0 {
+		return
+	}
+	threshold := s.period / 32
+	if threshold < 4 {
+		threshold = 4
+	}
+	var hot []uint64
+	for candidate, n := range s.counts[bank] {
+		if n >= threshold {
+			hot = append(hot, candidate)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+	if len(hot) > 8 {
+		hot = hot[:8]
+	}
+	for _, candidate := range hot {
+		h := newKeyedRand(d.Seed^0x505A, uint64(bank)<<32|candidate, s.counter)
+		partner := h.next() % d.rows
+		va, pa := d.swapTarget(bank, candidate), d.swapTarget(bank, partner)
+		s.remap[bank][candidate] = pa
+		s.remap[bank][partner] = va
+		d.swapEvents++
+	}
+	clear(s.counts[bank])
+}
+
+// Reset clears disturbance state, flips and mitigation counters,
+// preserving the seeded vulnerability map and (device-internal) row-swap
+// remap table — the same contract as dram.Device.Reset.
+func (d *Device) Reset() {
+	for bank := range d.state {
+		for _, st := range d.state[bank] {
+			st.acts = 0
+			st.disturbance = 0
+			st.epoch = 0
+			for i := range st.cells {
+				st.cells[i].flipped = false
+			}
+		}
+	}
+	d.flips = d.flips[:0]
+	d.triggers = d.triggers[:0]
+	for i := range d.trr {
+		d.trr[i].clear()
+	}
+	d.ptrr = d.ptrr[:0]
+	for i := range d.rfm {
+		d.rfm[i].raa = 0
+		d.rfm[i].sampler.clear()
+	}
+	d.swap.counter = 0
+	for i := range d.swap.counts {
+		clear(d.swap.counts[i])
+	}
+	d.refCount = 0
+	d.actCount = 0
+	d.trrEvents = 0
+	d.rfmEvents = 0
+	d.swapEvents = 0
+}
+
+// Flips returns all flips recorded since the last Reset.
+func (d *Device) Flips() []dram.Flip { return d.flips }
+
+// ActivationCount returns the total ACTs seen since the last Reset.
+func (d *Device) ActivationCount() uint64 { return d.actCount }
+
+// RefreshCount returns the REFs processed since the last Reset.
+func (d *Device) RefreshCount() uint64 { return d.refCount }
+
+// TRREvents returns the number of targeted refreshes performed.
+func (d *Device) TRREvents() uint64 { return d.trrEvents }
+
+// RFMEvents returns the number of RFM mitigation sweeps performed.
+func (d *Device) RFMEvents() uint64 { return d.rfmEvents }
+
+// RowSwapEvents returns the number of row swaps performed.
+func (d *Device) RowSwapEvents() uint64 { return d.swapEvents }
+
+// TakeTRRTriggers drains the targeted-refresh log accumulated since the
+// last call.
+func (d *Device) TakeTRRTriggers() []dram.TRRTrigger {
+	t := d.triggers
+	d.triggers = nil
+	return t
+}
+
+// ActCount reports the activations the logical row has received since
+// the last Reset.
+func (d *Device) ActCount(bank int, r uint64) uint64 {
+	if st := d.state[bank][r]; st != nil {
+		return st.acts
+	}
+	return 0
+}
+
+// RowDisturbance reports the row's current effective in-window
+// disturbance.
+func (d *Device) RowDisturbance(bank int, r uint64) float64 {
+	st := d.state[bank][r]
+	if st == nil {
+		return 0
+	}
+	return d.effective(r, st)
+}
+
+// effective is the disturbance the next disturb would start from: zero
+// if the row's slice has been refreshed since the last update.
+func (d *Device) effective(r uint64, st *row) float64 {
+	if d.rowEpoch(r) != st.epoch {
+		return 0
+	}
+	return st.disturbance
+}
+
+// WeakCellCount reports how many weak cells a row holds.
+func (d *Device) WeakCellCount(bank int, r uint64) int {
+	return len(d.rowState(bank, r).cells)
+}
+
+// VisitRows calls fn for every touched row in (bank, row) order with
+// its effective disturbance and activation count — the same audit
+// traversal dram.Device.VisitRows provides.
+func (d *Device) VisitRows(fn func(bank int, row uint64, disturbance float64, acts uint64)) {
+	rows := make([]uint64, 0, 64)
+	for bank := range d.state {
+		rows = rows[:0]
+		for r := range d.state[bank] {
+			rows = append(rows, r)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+		for _, r := range rows {
+			st := d.state[bank][r]
+			fn(bank, r, d.effective(r, st), st.acts)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package refmodel
+
+import (
+	"rhohammer/internal/dram"
+	"rhohammer/internal/memctrl"
+)
+
+// Substrate is the event surface shared by the production dram.Device
+// and the reference Device: everything a controller-issued command
+// stream can do to a module. Both models implement it, which lets one
+// recorded trace drive either — the basis of the trace-replay tests.
+type Substrate interface {
+	Activate(bank int, row uint64, now float64)
+	Refresh(now float64)
+	Flips() []dram.Flip
+}
+
+var (
+	_ Substrate = (*dram.Device)(nil)
+	_ Substrate = (*Device)(nil)
+)
+
+// Replay feeds a recorded controller command stream into a substrate.
+// ACT and REF map directly; PRE only closes the row buffer and never
+// reaches the module's disturbance machinery, so it is skipped. The
+// number of replayed commands is returned.
+func Replay(s Substrate, cmds []memctrl.Cmd) int {
+	n := 0
+	for _, c := range cmds {
+		switch c.Kind {
+		case memctrl.CmdACT:
+			s.Activate(c.Bank, c.Row, c.At)
+			n++
+		case memctrl.CmdREF:
+			s.Refresh(c.At)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package refmodel
+
+import "math"
+
+// Deterministic per-row random stream, keyed by (seed, bank, row).
+//
+// This mirrors internal/dram's hashRand on purpose: the keyed stream IS
+// the specification of a DIMM's vulnerability map — two models of the
+// same module must draw the same weak cells, the same way two runs of
+// the same binary must. It is deliberately a fresh transcription of the
+// splitmix64 algorithm rather than a shared helper, so an accidental
+// edit to either copy shows up as a differential failure instead of
+// silently changing both models at once.
+type keyedRand struct {
+	state uint64
+}
+
+func newKeyedRand(seed int64, bank, row uint64) keyedRand {
+	s := uint64(seed)
+	s = splitmix(s ^ 0x9e3779b97f4a7c15)
+	s = splitmix(s ^ bank*0xbf58476d1ce4e5b9)
+	s = splitmix(s ^ row*0x94d049bb133111eb)
+	return keyedRand{state: s}
+}
+
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (h *keyedRand) next() uint64 {
+	h.state += 0x9e3779b97f4a7c15
+	z := h.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (h *keyedRand) float64() float64 {
+	return float64(h.next()>>11) / (1 << 53)
+}
+
+func (h *keyedRand) norm() float64 {
+	u1 := h.float64()
+	for u1 == 0 {
+		u1 = h.float64()
+	}
+	u2 := h.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+func (h *keyedRand) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= h.float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 64 {
+			return k
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package refmodel
+
+import "sort"
+
+// sampler is the reference TRR/RFM aggressor sampler: the same policy
+// internal/dram reverse-engineers from TRRespass/Blacksmith — track the
+// first `capacity` distinct rows seen since the last clear, count their
+// activations, and select the top-counted entries with ties broken by
+// table position — written as the plainest possible list code. No
+// scratch buffers, no deferred replay: every operation builds what it
+// needs from scratch.
+//
+// One behaviour is deliberately mirrored from the production model
+// rather than idealized: popTop removes entries by swapping with the
+// last slot, which reorders the survivors. Subsequent tie-breaks use
+// the post-swap positions, and the DDR5 RFM fairness behaviour the
+// repository reproduces depends on exactly that.
+type sampler struct {
+	capacity int
+	rows     []uint64
+	counts   []int
+}
+
+func newSampler(capacity int) sampler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return sampler{capacity: capacity}
+}
+
+// observe records one activation of row.
+func (s *sampler) observe(row uint64) {
+	for i, r := range s.rows {
+		if r == row {
+			s.counts[i]++
+			return
+		}
+	}
+	if len(s.rows) < s.capacity {
+		s.rows = append(s.rows, row)
+		s.counts = append(s.counts, 1)
+	}
+}
+
+// top returns up to n tracked rows ordered by count descending, with
+// ties broken by lower table position.
+func (s *sampler) top(n int) []uint64 {
+	if n <= 0 || len(s.rows) == 0 {
+		return nil
+	}
+	if n > len(s.rows) {
+		n = len(s.rows)
+	}
+	pos := make([]int, len(s.rows))
+	for i := range pos {
+		pos[i] = i
+	}
+	sort.Slice(pos, func(a, b int) bool {
+		i, j := pos[a], pos[b]
+		if s.counts[i] != s.counts[j] {
+			return s.counts[i] > s.counts[j]
+		}
+		return i < j
+	})
+	out := make([]uint64, n)
+	for k := 0; k < n; k++ {
+		out[k] = s.rows[pos[k]]
+	}
+	return out
+}
+
+// popTop returns the top-n rows and removes them from the table by
+// swap-with-last, preserving every other entry's count.
+func (s *sampler) popTop(n int) []uint64 {
+	out := s.top(n)
+	for _, row := range out {
+		for i, r := range s.rows {
+			if r == row {
+				last := len(s.rows) - 1
+				s.rows[i], s.rows[last] = s.rows[last], s.rows[i]
+				s.counts[i], s.counts[last] = s.counts[last], s.counts[i]
+				s.rows = s.rows[:last]
+				s.counts = s.counts[:last]
+				break
+			}
+		}
+	}
+	return out
+}
+
+// clear resets the sampler for the next interval.
+func (s *sampler) clear() {
+	s.rows = s.rows[:0]
+	s.counts = s.counts[:0]
+}

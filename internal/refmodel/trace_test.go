@@ -1,0 +1,108 @@
+package refmodel
+
+import (
+	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
+)
+
+// Trace encoding for the differential tests and the fuzz target: a
+// byte string decodes into a substrate event program executed against a
+// production dram.Device with a reference-model Auditor attached.
+//
+// Layout: data[0] is a flags byte (bit 0 = pTRR, bit 1 = row-swap),
+// data[1] seeds the base row of an 8-row aggressor pool, and the rest
+// is an op stream. ACT ops are burst-amplified (one op byte plus one
+// count byte issue up to ~25k activations) so short inputs reach the
+// tens-of-thousands activation counts real flip thresholds require;
+// the pool rows are clustered so bursts on different rows pressure
+// shared victims, double-sided style. REF ops land often enough that
+// TRR sampling, epoch rollover (base rows sit in low refresh slices)
+// and the per-boundary audit diff are all exercised.
+
+// traceMaxActs caps the activations one trace may issue, so a
+// pathological fuzz input cannot run unbounded.
+const traceMaxActs = 300_000
+
+// runTrace decodes data and executes it against a fresh device/auditor
+// pair for the DIMM profile, returning the auditor after a final
+// refresh boundary (so at least one full diff always runs).
+func runTrace(d *arch.DIMM, seed int64, data []byte) *Auditor {
+	dev := dram.NewDevice(d, seed)
+	aud := NewAuditor(dev)
+	if len(data) > 0 && data[0]&1 != 0 {
+		dev.PTRR = true
+	}
+	if len(data) > 0 && data[0]&2 != 0 {
+		dev.EnableRowSwap(1024)
+	}
+	base := uint64(16)
+	if len(data) > 1 {
+		// Low base rows live in low refresh slices, whose epoch rolls
+		// over within the first few dozen REFs of a trace.
+		base = 16 + uint64(data[1])*13
+	}
+	var pool [8]uint64
+	for i := range pool {
+		pool[i] = base + uint64(i)
+	}
+
+	i := 2
+	next := func() byte {
+		if i < len(data) {
+			b := data[i]
+			i++
+			return b
+		}
+		return 7
+	}
+	now := 0.0
+	acts := 0
+	burst := func(bank int, row uint64, n int) {
+		if acts+n > traceMaxActs {
+			n = traceMaxActs - acts
+		}
+		for k := 0; k < n; k++ {
+			dev.Activate(bank, row, now)
+			now += 6
+		}
+		acts += n
+	}
+
+	for i < len(data) && acts < traceMaxActs {
+		b := data[i]
+		i++
+		switch b & 3 {
+		case 0, 1:
+			burst(0, pool[(b>>2)&7], (1+int(next()))*96)
+		case 2:
+			dev.Refresh(now)
+			now += 60
+		default:
+			switch (b >> 2) & 3 {
+			case 0:
+				pool[(b>>4)&7] = base + uint64(next())%48
+			case 1:
+				dev.Reset()
+				now += 60
+			case 2:
+				burst(1%dev.Banks(), pool[(b>>4)&7], (1+int(next()))*24)
+			case 3:
+				// A refresh run, deep enough to cross the pool rows'
+				// slice boundaries and trigger epoch rollover.
+				for k := 0; k < 8; k++ {
+					dev.Refresh(now)
+					now += 60
+				}
+			}
+		}
+	}
+	dev.Refresh(now)
+	return aud
+}
+
+// traceProfiles are the DIMM profiles the differential tests sweep:
+// the full DDR4 matrix including the invulnerable M1, plus the DDR5
+// module D1 so the RFM path is exercised.
+func traceProfiles() []*arch.DIMM {
+	return append(arch.AllDIMMs(), arch.DIMMD1())
+}
