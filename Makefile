@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build vet test race determinism verify bench fuzz
+.PHONY: build vet test race determinism doccheck verify bench fuzz
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,14 @@ race:
 determinism:
 	$(GO) test -race -run 'Determinism' ./internal/campaign ./internal/experiments
 
-verify: build vet test race determinism
+# doccheck keeps the documentation from rotting: every package must
+# carry a package doc comment, and every relative link in the root
+# markdown documents must resolve. (vet is listed so `make doccheck`
+# stands alone as the docs gate; verify already runs it.)
+doccheck: vet
+	$(GO) test -run 'TestPackageDocComments|TestDocLinks' .
+
+verify: build vet test race determinism doccheck
 
 # fuzz gives each native fuzz target a short budget on top of the
 # checked-in seed corpus: the differential oracle (random command

@@ -23,11 +23,13 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"rhohammer/internal/experiments"
+	"rhohammer/internal/obs"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -71,6 +73,13 @@ type Report struct {
 	WallTime   string           `json:"wall_time"`
 	Benchmarks []Benchmark      `json:"benchmarks"`
 	Campaigns  []CampaignTiming `json:"campaigns,omitempty"`
+	// Counters is the obs-layer snapshot accumulated over the in-process
+	// campaign grid pass (substrate activity: activations, refreshes,
+	// TRR triggers, flips, cache hit/miss totals, worker occupancy).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// GitRev identifies the measured commit when the build carries VCS
+	// info.
+	GitRev string `json:"git_rev,omitempty"`
 }
 
 func main() {
@@ -85,6 +94,8 @@ func main() {
 		"comma-separated campaigns for the parallel-grid pass (empty skips it)")
 	gridScale := flag.Float64("grid-scale", 0.2, "experiment scale for the grid pass")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the in-process grid pass")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the grid pass")
 	flag.Parse()
 
 	date := time.Now().Format("2006-01-02")
@@ -117,11 +128,41 @@ func main() {
 	}
 
 	var campaigns []CampaignTiming
+	var counters map[string]int64
 	if *gridNames != "" {
+		// The grid pass runs in-process, so the obs layer can attribute
+		// the substrate activity behind the wall-clock numbers.
+		obs.SetEnabled(true)
+		obs.Default.Reset()
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fatal(err)
+			}
+		}
 		campaigns, err = runGrid(strings.Split(*gridNames, ","), *gridScale)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		if err != nil {
 			fatal(err)
 		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+		counters = obs.Default.Values()
+		obs.SetEnabled(false)
 	}
 
 	rep := Report{
@@ -135,6 +176,8 @@ func main() {
 		WallTime:   time.Since(start).Round(time.Second).String(),
 		Benchmarks: benches,
 		Campaigns:  campaigns,
+		Counters:   counters,
+		GitRev:     gitRev(),
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -252,6 +295,19 @@ func parseLine(line string) (Benchmark, bool) {
 		b.ACTsPerSec = acts / (b.NsPerOp * 1e-9)
 	}
 	return b, true
+}
+
+// gitRev resolves the measured commit: build info when stamped, `git
+// rev-parse` under `go run`, empty when neither works.
+func gitRev() string {
+	if rev := obs.GitRev(); rev != "" {
+		return rev
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func fatal(err error) {

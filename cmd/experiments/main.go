@@ -13,16 +13,34 @@
 // bounds the campaign worker pool; every experiment's bytes are
 // identical for any worker count — parallelism only changes wall-clock
 // time.
+//
+// Observability (see ARCHITECTURE.md):
+//
+//	-manifest out.json   write a run manifest (git rev, seed, flags,
+//	                     per-cell timings and seeds, counter snapshot);
+//	                     any artifact is reproducible from it alone
+//	-metrics out.txt     write a Prometheus-style counter snapshot
+//	                     ("-" for stdout)
+//	-trace out.jsonl     record structured substrate events per session
+//	                     (also enabled via RHOHAMMER_TRACE=out.jsonl)
+//	-trace-cap N         per-session event-ring bound
+//	-cpuprofile / -memprofile write pprof profiles of the run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
+	"rhohammer/internal/campaign"
 	"rhohammer/internal/experiments"
 	"rhohammer/internal/hammer"
+	"rhohammer/internal/obs"
 )
 
 func main() {
@@ -31,8 +49,14 @@ func main() {
 	parallel := flag.Int("parallel", 0, "campaign worker pool size; 0 means GOMAXPROCS (results are identical for every value)")
 	only := flag.String("only", "", "run exactly one named experiment")
 	list := flag.Bool("list", false, "list registered experiments and exit")
-	asJSON := flag.Bool("json", false, "emit structured JSON instead of text")
+	asJSON := flag.Bool("json", false, "emit structured JSON (with per-cell stats) instead of text")
 	simcheck := flag.Bool("simcheck", false, "audit every simulated session against the slow reference model (order-of-magnitude slower; panics on divergence)")
+	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this path")
+	metricsPath := flag.String("metrics", "", "write a Prometheus-style counter snapshot to this path (\"-\" for stdout)")
+	tracePath := flag.String("trace", os.Getenv(obs.TraceEnv), "record structured substrate events to this JSONL path (default $RHOHAMMER_TRACE)")
+	traceCap := flag.Int("trace-cap", obs.DefaultTraceCap, "per-session event ring capacity for -trace")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path")
 	flag.Parse()
 
 	if *simcheck {
@@ -40,6 +64,14 @@ func main() {
 		// gate is how the audit reaches them without threading a flag
 		// through every constructor.
 		os.Setenv(hammer.SimcheckEnv, "1")
+	}
+	if *tracePath != "" {
+		// Same depth problem, same solution: arming the global collector
+		// makes every session record into its own seed-keyed ring.
+		obs.EnableTracing(*traceCap)
+	}
+	if *metricsPath != "" || *manifestPath != "" {
+		obs.SetEnabled(true)
 	}
 
 	names := experiments.Registry.Names()
@@ -82,36 +114,139 @@ func main() {
 		selected[a] = true
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+
+	manifest := obs.NewManifest("experiments", os.Args[1:])
+	manifest.Date = time.Now().UTC().Format(time.RFC3339)
+	manifest.Seed, manifest.Scale, manifest.Workers = *seed, *scale, *parallel
+	if manifest.GitRev == "" {
+		manifest.GitRev = gitRevFallback()
+	}
+
 	// Registration order is rendering order, matching the paper's
 	// narrative.
+	exitCode := 0
 	for _, name := range names {
 		if !selected[name] {
 			continue
 		}
 		start := time.Now()
-		res, err := experiments.Run(name, cfg)
+		res, out, err := experiments.RunOutcome(name, cfg)
+		manifest.Runs = append(manifest.Runs, runRecord(name, out, err))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exitCode = 1
+			continue
 		}
 		if *asJSON {
-			if err := experiments.WriteJSON(os.Stdout, name, cfg, res); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if err := experiments.WriteOutcomeJSON(os.Stdout, name, cfg, res, out); err != nil {
+				fatal(err)
 			}
 			continue
 		}
 		res.Render(os.Stdout)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	if *manifestPath != "" {
+		manifest.Counters = obs.Default.Values()
+		if err := manifest.WriteFile(*manifestPath); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsPath != "" {
+		w := os.Stdout
+		var f *os.File
+		if *metricsPath != "-" {
+			var err error
+			if f, err = os.Create(*metricsPath); err != nil {
+				fatal(err)
+			}
+			w = f
+		}
+		if err := obs.Default.WritePrometheus(w); err != nil {
+			fatal(err)
+		}
+		if f != nil {
+			f.Close()
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.Traces.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	os.Exit(exitCode)
+}
+
+// runRecord converts one campaign outcome into its manifest record.
+func runRecord(name string, out *campaign.Outcome, err error) obs.RunRecord {
+	rec := obs.RunRecord{Name: name}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	if out == nil {
+		return rec
+	}
+	rec.WallNS = int64(out.Wall)
+	rec.Workers = out.Workers
+	for _, c := range out.Cells {
+		rec.Cells = append(rec.Cells, obs.CellRecord{
+			Key: c.Key, Seed: c.Seed, WallNS: int64(c.Wall),
+			Attempts: c.Attempts, Err: c.Err,
+		})
+	}
+	return rec
 }
 
 func usage(names []string) {
-	fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-scale X] [-parallel W] [-json] <experiment...|all>\n")
+	fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-scale X] [-parallel W] [-json] [-manifest M] [-metrics P] [-trace T] <experiment...|all>\n")
 	fmt.Fprintf(os.Stderr, "       experiments -only <experiment>\n")
 	fmt.Fprintf(os.Stderr, "       experiments -list\nexperiments:")
 	for _, n := range names {
 		fmt.Fprintf(os.Stderr, " %s", n)
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// gitRevFallback shells out to git when the binary carries no build
+// info (e.g. `go run` on a toolchain that stamps no VCS data).
+func gitRevFallback() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

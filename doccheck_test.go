@@ -1,0 +1,101 @@
+package rhohammer
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docDirs returns every Go package directory the doc check covers: the
+// root package, every internal package, and every command.
+func docDirs(t *testing.T) []string {
+	t.Helper()
+	dirs := []string{"."}
+	for _, parent := range []string{"internal", "cmd"} {
+		entries, err := os.ReadDir(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				dirs = append(dirs, filepath.Join(parent, e.Name()))
+			}
+		}
+	}
+	return dirs
+}
+
+// TestPackageDocComments requires every package in the repository to
+// carry a package doc comment on at least one non-test file. The doc
+// comments are the entry points ARCHITECTURE.md links into; a package
+// without one is invisible to godoc and to the next reader.
+func TestPackageDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, dir := range docDirs(t) {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		documented := false
+		checked := 0
+		for _, path := range files {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			checked++
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if checked == 0 {
+			continue // no non-test Go files (not a package)
+		}
+		if !documented {
+			t.Errorf("package %s has no package doc comment on any file", dir)
+		}
+	}
+}
+
+// mdLink matches markdown inline links, capturing the target.
+var mdLink = regexp.MustCompile(`\]\(([^)]+)\)`)
+
+// TestDocLinks checks that every relative link in the root markdown
+// documents points at a file that exists, so the doc set cannot rot as
+// files move.
+func TestDocLinks(t *testing.T) {
+	docs, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s: broken relative link %q", doc, m[1])
+			}
+		}
+	}
+}

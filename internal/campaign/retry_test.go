@@ -1,0 +1,68 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// flakySpec builds a grid where the named cells fail their first
+// attempts. attempts records every Exec call per key.
+func flakySpec(failFirst map[string]int, attempts *sync.Map) Spec {
+	var cells []Cell
+	for i := 0; i < 6; i++ {
+		cells = append(cells, Cell{Key: fmt.Sprintf("cell-%d", i)})
+	}
+	return Spec{
+		Name:  "flaky",
+		Seed:  9,
+		Cells: cells,
+		Exec: func(c Cell, seed int64) (any, error) {
+			n, _ := attempts.LoadOrStore(c.Key, new(int))
+			count := n.(*int)
+			*count++
+			if *count <= failFirst[c.Key] {
+				return nil, fmt.Errorf("transient fault %d", *count)
+			}
+			return seed, nil
+		},
+	}
+}
+
+// TestRetriesRecoverTransientFaults checks the retry contract: a cell
+// that fails within the retry budget succeeds with the same seed and
+// its Attempts count reflects the reruns; a cell that exhausts the
+// budget surfaces its last error.
+func TestRetriesRecoverTransientFaults(t *testing.T) {
+	var attempts sync.Map
+	out, err := Runner{Workers: 1, Retries: 2}.Run(
+		flakySpec(map[string]int{"cell-1": 2, "cell-4": 5}, &attempts))
+	if err == nil {
+		t.Fatal("cell-4 exhausts the retry budget; Run must report it")
+	}
+
+	byKey := map[string]CellStat{}
+	for _, c := range out.Cells {
+		byKey[c.Key] = c
+	}
+	if c := byKey["cell-1"]; c.Attempts != 3 || c.Err != "" {
+		t.Errorf("cell-1: attempts=%d err=%q, want 3 attempts and recovery", c.Attempts, c.Err)
+	}
+	if c := byKey["cell-4"]; c.Attempts != 3 || c.Err == "" {
+		t.Errorf("cell-4: attempts=%d err=%q, want 3 failed attempts", c.Attempts, c.Err)
+	}
+	if c := byKey["cell-0"]; c.Attempts != 1 {
+		t.Errorf("cell-0: attempts=%d, want 1", c.Attempts)
+	}
+
+	// The recovered cell's result must match a never-failing run: the
+	// seed is derived from the key, not the attempt.
+	var clean sync.Map
+	ref, err := Runner{Workers: 1}.Run(flakySpec(nil, &clean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[1] != ref.Results[1] {
+		t.Errorf("retried cell result %v differs from clean run %v", out.Results[1], ref.Results[1])
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"rhohammer/internal/obs"
 )
 
 // Runner executes a Spec's cells across a bounded worker pool.
@@ -18,6 +20,29 @@ type Runner struct {
 	// Workers bounds the number of cells executing concurrently;
 	// values <= 0 mean GOMAXPROCS.
 	Workers int
+	// Retries is how many extra attempts a failing cell gets before its
+	// error is recorded. Retried cells rerun with the same derived seed,
+	// so a success on any attempt is bit-identical to a first-try
+	// success; retries exist for transient faults (e.g. a panicking
+	// profile under memory pressure), not for flaky simulations.
+	Retries int
+}
+
+// CellStat records how one cell's execution went — the per-cell wall
+// time and error information that used to vanish after a run. The
+// manifest written by cmd/experiments and the -json envelope both embed
+// it; Seed makes any single cell replayable in isolation.
+type CellStat struct {
+	// Key is the cell's stable key within its Spec.
+	Key string `json:"key"`
+	// Seed is the derived per-cell seed (Spec.CellSeed(Key)).
+	Seed int64 `json:"seed"`
+	// Wall is the cell's total execution time across all attempts.
+	Wall time.Duration `json:"wall_ns"`
+	// Attempts is how many times the cell ran (1 + retries used).
+	Attempts int `json:"attempts"`
+	// Err is the final attempt's error, "" on success.
+	Err string `json:"error,omitempty"`
 }
 
 // Outcome is one campaign execution.
@@ -31,18 +56,36 @@ type Outcome struct {
 	// Result is Gather's assembly of Results (Results itself when the
 	// Spec has no Gather).
 	Result any
-	// Wall is the campaign's wall-clock duration — the only field that
-	// varies with Workers.
+	// Cells holds per-cell execution stats, in cell order. Only the
+	// Wall and Attempts fields vary with scheduling; Key/Seed/Err are
+	// deterministic.
+	Cells []CellStat
+	// Wall is the campaign's wall-clock duration.
 	Wall time.Duration
+	// Busy is the summed per-cell wall time; Busy/(Workers*Wall) is the
+	// pool's occupancy.
+	Busy time.Duration
+}
+
+// Occupancy returns the fraction of the pool's capacity that executed
+// cells (1.0 = every worker busy for the whole campaign). With
+// campaign-sized cells a low value means the grid is too coarse for
+// the pool, the signal to shard cells before scaling workers.
+func (o *Outcome) Occupancy() float64 {
+	if o.Workers <= 0 || o.Wall <= 0 {
+		return 0
+	}
+	return float64(o.Busy) / (float64(o.Workers) * float64(o.Wall))
 }
 
 // Run executes every cell of the spec and gathers the results. A cell
 // failure (returned error or panic) does not stop, skew, or reorder the
 // other cells; all failures are joined into the returned error, each
 // naming its cell. On error the Outcome is still returned with every
-// successful cell's result at its index (failed cells hold nil) so a
-// caller can salvage partial grids; Gather is not run on partial
-// results — Outcome.Result is nil whenever the error is non-nil.
+// successful cell's result at its index (failed cells hold nil) and
+// with complete per-cell stats, so a caller can salvage partial grids;
+// Gather is not run on partial results — Outcome.Result is nil whenever
+// the error is non-nil.
 func (r Runner) Run(s Spec) (*Outcome, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -61,10 +104,10 @@ func (r Runner) Run(s Spec) (*Outcome, error) {
 
 	start := time.Now()
 	results := make([]any, n)
-	cellErrs := make([]error, n)
+	stats := make([]CellStat, n)
 	if workers == 1 {
 		for i := range s.Cells {
-			results[i], cellErrs[i] = runCell(s, i)
+			results[i], stats[i] = r.runCell(s, i)
 		}
 	} else {
 		next := make(chan int)
@@ -74,7 +117,7 @@ func (r Runner) Run(s Spec) (*Outcome, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i], cellErrs[i] = runCell(s, i)
+					results[i], stats[i] = r.runCell(s, i)
 				}
 			}()
 		}
@@ -89,14 +132,24 @@ func (r Runner) Run(s Spec) (*Outcome, error) {
 		Name:    s.Name,
 		Workers: workers,
 		Results: results,
+		Cells:   stats,
 		Wall:    time.Since(start),
 	}
-
 	var errs []error
-	for i, err := range cellErrs {
-		if err != nil {
-			errs = append(errs, fmt.Errorf("campaign %s: cell %s: %w", s.Name, s.Cells[i].Key, err))
+	var retries int64
+	for i := range stats {
+		out.Busy += stats[i].Wall
+		retries += int64(stats[i].Attempts - 1)
+		if stats[i].Err != "" {
+			errs = append(errs, fmt.Errorf("campaign %s: cell %s: %s", s.Name, stats[i].Key, stats[i].Err))
 		}
+	}
+	if obs.Enabled() {
+		obs.CampaignCells.Add(int64(n))
+		obs.CampaignFailures.Add(int64(len(errs)))
+		obs.CampaignRetries.Add(retries)
+		obs.CampaignBusyNS.Add(int64(out.Busy))
+		obs.CampaignWallNS.Add(int64(out.Wall))
 	}
 	if len(errs) > 0 {
 		return out, errors.Join(errs...)
@@ -110,15 +163,36 @@ func (r Runner) Run(s Spec) (*Outcome, error) {
 	return out, nil
 }
 
-// runCell executes one cell, converting a panic into an error so a
-// failing cell reports its key instead of killing the process from a
-// worker goroutine.
-func runCell(s Spec, i int) (result any, err error) {
+// runCell executes one cell (with the runner's retry budget), timing it
+// and converting a panic into an error so a failing cell reports its
+// key instead of killing the process from a worker goroutine.
+func (r Runner) runCell(s Spec, i int) (any, CellStat) {
+	c := s.Cells[i]
+	stat := CellStat{Key: c.Key, Seed: s.CellSeed(c.Key)}
+	t0 := time.Now()
+	var result any
+	var err error
+	for attempt := 0; attempt <= r.Retries; attempt++ {
+		stat.Attempts++
+		result, err = execCell(s, c, stat.Seed)
+		if err == nil {
+			break
+		}
+		result = nil
+	}
+	stat.Wall = time.Since(t0)
+	if err != nil {
+		stat.Err = err.Error()
+	}
+	return result, stat
+}
+
+// execCell runs one attempt, recovering panics into errors.
+func execCell(s Spec, c Cell, seed int64) (result any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v", p)
 		}
 	}()
-	c := s.Cells[i]
-	return s.Exec(c, s.CellSeed(c.Key))
+	return s.Exec(c, seed)
 }

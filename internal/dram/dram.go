@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"rhohammer/internal/arch"
+	"rhohammer/internal/obs"
 )
 
 // Timing constants of the refresh machinery (DDR4 defaults).
@@ -195,6 +196,11 @@ type Device struct {
 	shadow   Shadow
 	auditTRR []TRRTrigger
 
+	// trace, when non-nil, receives structured observability events
+	// (see SetTrace in obs.go). Costs one nil check per hot-path event
+	// when detached.
+	trace *obs.Trace
+
 	// OnTRR, if set, is invoked for every targeted refresh with the
 	// identified aggressor. Diagnostics and tests only.
 	OnTRR func(bank int, row uint64)
@@ -321,6 +327,11 @@ func (d *Device) Activate(bank int, row uint64, now float64) {
 		d.shadow.Activate(bank, row, now)
 	}
 	d.actCount++
+	if d.trace != nil {
+		// Pre-swap logical address, like the shadow: the trace records
+		// the substrate's input stream.
+		d.trace.Emit(obs.Event{TimeNS: now, Layer: "dram", Kind: "act", Bank: bank, Row: row})
+	}
 	st := d.state(bank, row)
 	st.acts++
 	if d.rowSwap.enabled {
@@ -442,6 +453,10 @@ func (d *Device) disturbSlow(st *rowState, bank int, row uint64, w float64, now 
 				ByteInRow: c.byteInRow, Bit: c.bit,
 				OneToZero: c.oneToZero, Time: now,
 			})
+			if d.trace != nil {
+				d.trace.Emit(obs.Event{TimeNS: now, Layer: "dram", Kind: "flip",
+					Bank: bank, Row: row, N: int64(c.byteInRow)*8 + int64(c.bit)})
+			}
 		} else if c.threshold < next {
 			next = c.threshold
 		}
@@ -478,6 +493,11 @@ func (d *Device) materializeRow(bank int, row uint64, st *rowState) {
 		}
 	}
 	st.gate = st.minThresh
+	if d.trace != nil {
+		// Blast-radius event: this row came under enough neighbor
+		// pressure to enter the vulnerable population.
+		d.trace.Emit(obs.Event{Layer: "dram", Kind: "blast", Bank: bank, Row: row, N: int64(n)})
+	}
 }
 
 // Refresh executes one REF command at simulation time now: the rotating
@@ -487,6 +507,9 @@ func (d *Device) Refresh(now float64) {
 	// Regular refresh of the rotating row slice is applied lazily via
 	// rowEpoch; only the counter advances here.
 	d.refCount++
+	if d.trace != nil {
+		d.trace.Emit(obs.Event{TimeNS: now, Layer: "dram", Kind: "ref"})
+	}
 
 	// Replay the interval's buffered activations into the per-bank
 	// samplers, in original order — bit-identical to sampling at
@@ -531,6 +554,9 @@ func (d *Device) Refresh(now float64) {
 // identified aggressor (the TRR action).
 func (d *Device) refreshNeighborhood(bank int, row uint64) {
 	d.trrEvents++
+	if d.trace != nil {
+		d.trace.Emit(obs.Event{Layer: "dram", Kind: "trr", Bank: bank, Row: row})
+	}
 	if d.shadow != nil {
 		d.auditTRR = append(d.auditTRR, TRRTrigger{Bank: bank, Row: row})
 	}

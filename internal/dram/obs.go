@@ -1,0 +1,51 @@
+package dram
+
+import "rhohammer/internal/obs"
+
+// Observability surface of the device. Two faces, both free when
+// unused:
+//
+//   - Counters() is a cold snapshot of the plain internal counters the
+//     hot path already maintains — no atomics or indirection are added
+//     to Activate/Refresh for it.
+//   - SetTrace attaches a bounded obs.Trace ring; the hot paths then
+//     emit structured events behind a single nil check (the same
+//     pattern as the simcheck shadow).
+
+// Counters is a snapshot of the device's activity since the last
+// Reset. TRRTriggers counts targeted refreshes from both the in-DRAM
+// sampler and the platform pTRR sweep (they share the refresh action).
+type Counters struct {
+	ACTs               uint64 `json:"acts"`
+	REFs               uint64 `json:"refs"`
+	TRRTriggers        uint64 `json:"trr_triggers"`
+	RFMEvents          uint64 `json:"rfm_events"`
+	RowSwapRelocations uint64 `json:"rowswap_relocations"`
+	Flips              uint64 `json:"flips"`
+}
+
+// Counters returns the current snapshot. Cold path only.
+func (d *Device) Counters() Counters {
+	return Counters{
+		ACTs:               d.actCount,
+		REFs:               d.refCount,
+		TRRTriggers:        d.trrEvents,
+		RFMEvents:          d.rfmEvents,
+		RowSwapRelocations: d.rowSwapEvents,
+		Flips:              uint64(len(d.flips)),
+	}
+}
+
+// SetTrace attaches (or, with nil, detaches) a structured event trace.
+// The device emits:
+//
+//	act   — one per ACT command (pre-swap logical address)
+//	ref   — one per REF command
+//	trr   — one per targeted refresh (TRR sampler or pTRR sweep)
+//	flip  — one per bit flip, N = byte*8+bit of the flipped cell
+//	blast — a row's weak-cell population materialized under pressure,
+//	        N = number of weak cells drawn
+//
+// Tracing never touches an RNG stream; enabling it cannot perturb
+// simulation results.
+func (d *Device) SetTrace(t *obs.Trace) { d.trace = t }

@@ -1,0 +1,102 @@
+package dram
+
+import (
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/obs"
+)
+
+// TestCountersExact drives the device through a scripted command
+// sequence and requires the counter snapshot to match it exactly — the
+// counters are bookkeeping the hot path already does, so any drift is
+// a real accounting bug, not sampling noise.
+func TestCountersExact(t *testing.T) {
+	dev := NewDevice(arch.DIMMS1(), 1)
+	const acts, refs = 137, 9
+	now := 0.0
+	for i := 0; i < acts; i++ {
+		dev.Activate(i%4, uint64(100+i%3), now)
+		now += 50
+	}
+	for i := 0; i < refs; i++ {
+		dev.Refresh(now)
+		now += 100
+	}
+	c := dev.Counters()
+	if c.ACTs != acts {
+		t.Errorf("Counters().ACTs = %d, want %d", c.ACTs, acts)
+	}
+	if c.REFs != refs {
+		t.Errorf("Counters().REFs = %d, want %d", c.REFs, refs)
+	}
+	if c.Flips != uint64(len(dev.Flips())) {
+		t.Errorf("Counters().Flips = %d, device has %d", c.Flips, len(dev.Flips()))
+	}
+}
+
+// TestTraceEventsMatchCounters attaches a large ring, hammers until
+// flips appear, and checks that the per-kind event totals agree with
+// the counter snapshot: one act event per ACT, one flip event per
+// recorded flip, and at least one blast event (the weak-cell
+// materialization that precedes any flip).
+func TestTraceEventsMatchCounters(t *testing.T) {
+	dev := NewDevice(vulnerableDIMM(), 7)
+	tr := obs.NewTrace(1 << 16)
+	dev.SetTrace(tr)
+	for i := 0; i < 3000; i++ {
+		dev.Activate(0, 999, float64(i))
+		dev.Activate(0, 1001, float64(i))
+	}
+	if len(dev.Flips()) == 0 {
+		t.Fatal("no flips despite disturbance far above threshold")
+	}
+	kinds := map[string]int{}
+	var lastSeq uint64
+	for i, e := range tr.Events() {
+		kinds[e.Kind]++
+		if i > 0 && e.Seq <= lastSeq {
+			t.Fatalf("event %d out of order: seq %d after %d", i, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+	}
+	c := dev.Counters()
+	if kinds["act"] != int(c.ACTs) {
+		t.Errorf("act events = %d, Counters().ACTs = %d", kinds["act"], c.ACTs)
+	}
+	if kinds["flip"] != int(c.Flips) {
+		t.Errorf("flip events = %d, Counters().Flips = %d", kinds["flip"], c.Flips)
+	}
+	if kinds["blast"] == 0 {
+		t.Error("no blast events despite materialized weak cells")
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("ring dropped %d events despite generous capacity", tr.Dropped())
+	}
+}
+
+// TestTraceDoesNotPerturbSimulation runs the same hammering sequence
+// with and without an attached trace and requires identical flips —
+// the obs contract says observation never touches an RNG stream.
+func TestTraceDoesNotPerturbSimulation(t *testing.T) {
+	run := func(traced bool) []Flip {
+		dev := NewDevice(vulnerableDIMM(), 7)
+		if traced {
+			dev.SetTrace(obs.NewTrace(64)) // tiny ring: exercises overwrite too
+		}
+		for i := 0; i < 3000; i++ {
+			dev.Activate(0, 999, float64(i))
+			dev.Activate(0, 1001, float64(i))
+		}
+		return dev.Flips()
+	}
+	plain, traced := run(false), run(true)
+	if len(plain) != len(traced) {
+		t.Fatalf("flip count differs: plain %d, traced %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("flip %d differs: plain %+v, traced %+v", i, plain[i], traced[i])
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"rhohammer/internal/campaign"
 )
 
 // JSON export: every experiment result marshals to a stable JSON form so
@@ -11,23 +13,41 @@ import (
 // result types already carry json-friendly fields; this file provides
 // the uniform envelope and the writer used by cmd/experiments -json.
 
-// Envelope wraps one experiment's result with its identity and the
-// configuration that produced it.
+// Envelope wraps one experiment's result with its identity, the
+// configuration that produced it, and (when the campaign Outcome is
+// supplied) the per-cell execution stats.
 type Envelope struct {
 	Experiment string  `json:"experiment"`
 	Seed       int64   `json:"seed"`
 	Scale      float64 `json:"scale"`
-	Result     any     `json:"result"`
+	Workers    int     `json:"workers,omitempty"`
+	WallNS     int64   `json:"wall_ns,omitempty"`
+	// Cells surfaces per-cell wall time, derived seed, attempts and
+	// error text (campaign.CellStat); every cell is individually
+	// replayable from its seed.
+	Cells  []campaign.CellStat `json:"cells,omitempty"`
+	Result any                 `json:"result"`
 }
 
 // WriteJSON emits one experiment result as indented JSON.
 func WriteJSON(w io.Writer, experiment string, cfg Config, result any) error {
+	return WriteOutcomeJSON(w, experiment, cfg, result, nil)
+}
+
+// WriteOutcomeJSON is WriteJSON plus the campaign outcome's per-cell
+// stats (omitted when out is nil).
+func WriteOutcomeJSON(w io.Writer, experiment string, cfg Config, result any, out *campaign.Outcome) error {
 	cfg = cfg.withDefaults()
 	env := Envelope{
 		Experiment: experiment,
 		Seed:       cfg.Seed,
 		Scale:      cfg.Scale,
 		Result:     result,
+	}
+	if out != nil {
+		env.Workers = out.Workers
+		env.WallNS = int64(out.Wall)
+		env.Cells = out.Cells
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

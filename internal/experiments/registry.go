@@ -57,19 +57,28 @@ func register(name string, kind campaign.Kind, title string, build func(Config) 
 // cmd/bench use. Unknown names are the only expected error; execution
 // failures indicate a broken profile and surface as errors too.
 func Run(name string, cfg Config) (Renderer, error) {
+	r, _, err := RunOutcome(name, cfg)
+	return r, err
+}
+
+// RunOutcome is Run plus the campaign Outcome: per-cell wall times,
+// seeds and error stats for the run manifest and the -json envelope.
+// The Outcome is non-nil whenever the campaign executed, even when some
+// cells failed.
+func RunOutcome(name string, cfg Config) (Renderer, *campaign.Outcome, error) {
 	e, ok := Registry.Lookup(name)
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown campaign %q", name)
+		return nil, nil, fmt.Errorf("experiments: unknown campaign %q", name)
 	}
 	out, err := campaign.Runner{Workers: cfg.Workers}.Run(e.Build(campaign.Params{Seed: cfg.Seed, Scale: cfg.Scale}))
 	if err != nil {
-		return nil, err
+		return nil, out, err
 	}
 	r, ok := out.Result.(Renderer)
 	if !ok {
-		return nil, fmt.Errorf("experiments: campaign %q result %T does not render", name, out.Result)
+		return nil, out, fmt.Errorf("experiments: campaign %q result %T does not render", name, out.Result)
 	}
-	return r, nil
+	return r, out, nil
 }
 
 // runSpec executes a registered campaign under the config's worker

@@ -17,6 +17,7 @@ import (
 	"rhohammer/internal/dram"
 	"rhohammer/internal/mapping"
 	"rhohammer/internal/memctrl"
+	"rhohammer/internal/obs"
 	"rhohammer/internal/pattern"
 	"rhohammer/internal/refmodel"
 	"rhohammer/internal/stats"
@@ -185,6 +186,14 @@ type Session struct {
 
 	// auditor is non-nil in simcheck mode; see EnableAudit.
 	auditor *refmodel.Auditor
+
+	// trace, when non-nil, receives pattern-level observability events;
+	// see AttachTrace in obs.go. The per-pattern counters below are
+	// plain fields on cold paths (never touched per access).
+	trace            *obs.Trace
+	patternsHammered uint64
+	progBuilds       uint64
+	progHits         uint64
 }
 
 // progKey identifies one lowered program: the pattern plus every config
@@ -231,6 +240,9 @@ func NewSession(a *arch.Arch, d *arch.DIMM, seed int64) (*Session, error) {
 	if simcheckFromEnv() {
 		s.EnableAudit()
 	}
+	if t := obs.SessionTrace(seed); t != nil {
+		s.AttachTrace(t)
+	}
 	return s, nil
 }
 
@@ -242,11 +254,19 @@ func (s *Session) program(pat *pattern.Pattern, cfg Config, bank int, baseRow ui
 		nops: cfg.Nops, banks: cfg.Banks, bank: bank, baseRow: baseRow,
 	}
 	if prog, ok := s.progCache[key]; ok {
+		s.progHits++
+		if obs.Enabled() {
+			obs.HammerProgHits.Inc()
+		}
 		return prog, nil
 	}
 	prog, err := s.build(pat, cfg, bank, baseRow)
 	if err != nil {
 		return nil, err
+	}
+	s.progBuilds++
+	if obs.Enabled() {
+		obs.HammerProgBuilds.Inc()
 	}
 	if len(s.progCache) >= progCacheLimit {
 		clear(s.progCache)
@@ -303,6 +323,7 @@ func (s *Session) HammerPattern(pat *pattern.Pattern, cfg Config, bank int, base
 		iters = 1
 	}
 	flipsBefore := len(s.Dev.Flips())
+	devBefore, ctrlBefore := s.Dev.Counters(), s.Ctrl.Stats()
 	if cfg.SyncRefresh {
 		s.Eng.SyncToRefresh()
 	}
@@ -310,6 +331,7 @@ func (s *Session) HammerPattern(pat *pattern.Pattern, cfg Config, bank int, base
 	flips := s.Dev.Flips()[flipsBefore:]
 	out := Result{Result: res}
 	out.Flips = append(out.Flips, flips...)
+	s.noteHammer(devBefore, ctrlBefore, &out)
 	return out, nil
 }
 
@@ -339,6 +361,7 @@ func (s *Session) HammerPatternFor(pat *pattern.Pattern, cfg Config, bank int, b
 		return Result{}, fmt.Errorf("hammer: pattern %d rendered to zero accesses", pat.ID)
 	}
 	flipsBefore := len(s.Dev.Flips())
+	devBefore, ctrlBefore := s.Dev.Counters(), s.Ctrl.Stats()
 	var out Result
 	// Run in chunks, re-estimating the remaining iteration count from
 	// the measured pace; a few passes converge for any configuration.
@@ -367,6 +390,7 @@ func (s *Session) HammerPatternFor(pat *pattern.Pattern, cfg Config, bank int, b
 		out.EndTime = res.EndTime
 	}
 	out.Flips = append(out.Flips, s.Dev.Flips()[flipsBefore:]...)
+	s.noteHammer(devBefore, ctrlBefore, &out)
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package hammer
 
 import (
+	"rhohammer/internal/obs"
 	"rhohammer/internal/pattern"
 )
 
@@ -55,6 +56,14 @@ func (s *Session) TuneNops(pat *pattern.Pattern, cfg Config, maxNops, step int, 
 			out.BestFlips = flips
 			out.BestNops = nops
 		}
+	}
+	// NOP-sled selection is an attack-shaping decision worth
+	// attributing: record which count won and how hard it hit.
+	if s.trace != nil {
+		s.trace.Emit(obs.Event{Layer: "hammer", Kind: "tune", N: int64(out.BestNops)})
+	}
+	if obs.Enabled() {
+		obs.HammerTunes.Inc()
 	}
 	return out, nil
 }

@@ -45,17 +45,34 @@ func (k AccessKind) String() string {
 	}
 }
 
-// Stats aggregates controller activity.
+// Stats aggregates controller activity. The decode-cache pair is the
+// hot-path observability the obs layer snapshots: hammer loops should
+// run at a hit rate near 1 once warm, and a falling rate flags a
+// working set outgrowing the direct-mapped cache.
 type Stats struct {
 	Accesses  uint64
 	RowHits   uint64
 	RowEmpty  uint64
 	Conflicts uint64
 	Refreshes uint64
+	// DecodeHits / DecodeMisses count direct-mapped decode-cache
+	// outcomes in decodeAddr (one translation per access).
+	DecodeHits   uint64
+	DecodeMisses uint64
 }
 
 // ACTs returns the number of row activations issued.
 func (s Stats) ACTs() uint64 { return s.RowEmpty + s.Conflicts }
+
+// DecodeHitRate returns DecodeHits/(DecodeHits+DecodeMisses), 0 before
+// any translation.
+func (s Stats) DecodeHitRate() float64 {
+	total := s.DecodeHits + s.DecodeMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DecodeHits) / float64(total)
+}
 
 // Timings holds the DRAM timing parameters in nanoseconds, derived from
 // the module's transfer rate with standard DDR4 cycle counts.
@@ -140,6 +157,7 @@ type decodeEntry struct {
 func (c *Controller) decodeAddr(pa uint64) (int, int64) {
 	e := &c.decode[((pa>>6)^(pa>>18))&decodeMask]
 	if e.ok && e.pa == pa {
+		c.stats.DecodeHits++
 		if c.audit {
 			if bank, row := c.Map.Bank(pa), int64(c.Map.Row(pa)); int32(bank) != e.bank || row != e.row {
 				panic(fmt.Sprintf("memctrl: audit: decode cache for pa=%#x holds (bank=%d,row=%d), mapping says (bank=%d,row=%d)",
@@ -148,6 +166,7 @@ func (c *Controller) decodeAddr(pa uint64) (int, int64) {
 		}
 		return int(e.bank), e.row
 	}
+	c.stats.DecodeMisses++
 	bank := c.Map.Bank(pa)
 	row := int64(c.Map.Row(pa))
 	*e = decodeEntry{pa: pa, row: row, bank: int32(bank), ok: true}

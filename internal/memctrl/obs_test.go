@@ -1,0 +1,37 @@
+package memctrl
+
+import "testing"
+
+// TestDecodeCacheStats checks the decode-cache hit/miss accounting: a
+// cold line misses once, repeats hit, and the hit rate follows.
+func TestDecodeCacheStats(t *testing.T) {
+	c := testController()
+	a := addr(t, c, 0, 100)
+	b := addr(t, c, 1, 200)
+
+	now := 0.0
+	now, _ = c.Access(a, now) // cold: decode miss
+	now, _ = c.Access(a, now) // same line: decode hit
+	now, _ = c.Access(a, now) // decode hit
+	now, _ = c.Access(b, now) // different line: decode miss
+	_, _ = c.Access(b, now)   // decode hit
+
+	st := c.Stats()
+	if st.DecodeMisses != 2 {
+		t.Errorf("DecodeMisses = %d, want 2", st.DecodeMisses)
+	}
+	if st.DecodeHits != 3 {
+		t.Errorf("DecodeHits = %d, want 3", st.DecodeHits)
+	}
+	if got, want := st.DecodeHitRate(), 3.0/5.0; got != want {
+		t.Errorf("DecodeHitRate() = %v, want %v", got, want)
+	}
+}
+
+// TestDecodeHitRateEmpty guards the zero-access division.
+func TestDecodeHitRateEmpty(t *testing.T) {
+	c := testController()
+	if got := c.Stats().DecodeHitRate(); got != 0 {
+		t.Errorf("DecodeHitRate() on fresh controller = %v, want 0", got)
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	if again := r.Counter("x_total"); again != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	c.Add(40)
+	c.Inc()
+	c.AddUint(1)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	r.Gauge("g", func() int64 { return 7 })
+
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "g" || snap[0].Value != 7 ||
+		snap[1].Name != "x_total" || snap[1].Value != 42 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if v := r.Values(); v["x_total"] != 42 || v["g"] != 7 {
+		t.Fatalf("values = %v", v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE g gauge\ng 7\n# TYPE x_total counter\nx_total 42\n"
+	if sb.String() != want {
+		t.Fatalf("prometheus text:\n%s\nwant:\n%s", sb.String(), want)
+	}
+
+	r.Reset()
+	if c.Load() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Load(); got != 8000 {
+		t.Fatalf("concurrent adds = %d, want 8000", got)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest("experiments", []string{"-seed", "42", "table3"})
+	m.Seed, m.Scale, m.Workers = 42, 0.5, 4
+	m.Runs = []RunRecord{{
+		Name: "table3", WallNS: 123, Workers: 4,
+		Cells: []CellRecord{{Key: "alder/rho-s", Seed: 99, WallNS: 61, Attempts: 1}},
+	}}
+	path := t.TempDir() + "/manifest.json"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if m.GoVersion == "" || m.NumCPU <= 0 {
+		t.Fatalf("build identity not stamped: %+v", m)
+	}
+}

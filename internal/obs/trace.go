@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one structured trace record. Layer names the emitting
+// subsystem (dram, hammer), Kind the event class
+// (act, ref, trr, flip, blast, pattern, tune). The numeric
+// fields are interpreted per kind; N is a generic magnitude (flips for
+// a pattern event, weak cells for a blast event, the chosen NOP count
+// for a tune event).
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	TimeNS float64 `json:"t_ns,omitempty"`
+	Layer  string  `json:"layer"`
+	Kind   string  `json:"kind"`
+	Bank   int     `json:"bank,omitempty"`
+	Row    uint64  `json:"row,omitempty"`
+	N      int64   `json:"n,omitempty"`
+}
+
+// Trace is a bounded ring buffer of events. It is single-writer by
+// contract (one hammer session, which is single-goroutine); readers
+// run after the writer is done. When the buffer is full the oldest
+// events are overwritten — the retained suffix stays in emission order
+// and Dropped counts the truncation.
+//
+// A nil *Trace is a valid disabled trace: Emit on nil is a no-op, so
+// holders can keep an unconditional field and skip the branch.
+type Trace struct {
+	buf     []Event
+	start   int // index of the oldest retained event
+	n       int // number of retained events
+	seq     uint64
+	dropped uint64
+}
+
+// DefaultTraceCap is the per-session ring capacity used when tracing
+// is enabled without an explicit size: large enough to hold the full
+// TRR/flip/pattern history of a CI-sized cell, small enough that a
+// campaign with hundreds of cells stays in tens of megabytes.
+const DefaultTraceCap = 8192
+
+// NewTrace returns a ring buffer retaining at most capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+// Emit appends an event, stamping its sequence number. Nil-safe.
+func (t *Trace) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	e.Seq = t.seq
+	t.seq++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		t.n++
+		return
+	}
+	// Full: overwrite the oldest slot. The ring never reorders — the
+	// retained window is always the most recent cap(buf) events in
+	// emission order.
+	t.buf[t.start] = e
+	t.start = (t.start + 1) % len(t.buf)
+	t.dropped++
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Dropped returns how many events were overwritten by the bound.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events as one JSON object per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Collector groups per-session traces for one process run. Sessions
+// register under a seed-derived key, so the dump order is a pure
+// function of the run's seeds — deterministic for every worker count
+// and schedule. Cell keys map to seeds through the run manifest.
+type Collector struct {
+	mu      sync.Mutex
+	enabled bool
+	capPer  int
+	traces  map[string]*Trace
+	order   []string
+}
+
+// Traces is the process-global collector, armed by EnableTracing
+// (cmd/experiments -trace, RHOHAMMER_TRACE).
+var Traces = &Collector{}
+
+// TraceEnv is the environment variable the commands consult for a
+// default trace output path, mirroring hammer.SimcheckEnv: it reaches
+// sessions created deep inside experiment code without threading a
+// flag through every constructor.
+const TraceEnv = "RHOHAMMER_TRACE"
+
+// EnableTracing arms the global collector: every hammer session created
+// afterwards records into its own bounded ring of the given capacity
+// (<= 0 means DefaultTraceCap).
+func EnableTracing(capPerSession int) {
+	Traces.mu.Lock()
+	defer Traces.mu.Unlock()
+	Traces.enabled = true
+	Traces.capPer = capPerSession
+	if Traces.traces == nil {
+		Traces.traces = map[string]*Trace{}
+	}
+}
+
+// DisableTracing disarms the collector and drops collected traces.
+func DisableTracing() {
+	Traces.mu.Lock()
+	defer Traces.mu.Unlock()
+	Traces.enabled = false
+	Traces.traces = nil
+	Traces.order = nil
+}
+
+// TracingEnabled reports whether the global collector is armed.
+func TracingEnabled() bool {
+	Traces.mu.Lock()
+	defer Traces.mu.Unlock()
+	return Traces.enabled
+}
+
+// SessionTrace returns a new ring registered under the session's seed,
+// or nil when tracing is disabled. Seeds are unique per campaign cell
+// (stats.SplitSeed over the spec name and cell key), so concurrent
+// cells never share a ring; identical seeds (e.g. repeated manual
+// sessions) get a #n suffix in registration order.
+func SessionTrace(seed int64) *Trace {
+	Traces.mu.Lock()
+	defer Traces.mu.Unlock()
+	if !Traces.enabled {
+		return nil
+	}
+	key := fmt.Sprintf("session-%016x", uint64(seed))
+	if _, taken := Traces.traces[key]; taken {
+		for i := 2; ; i++ {
+			k := fmt.Sprintf("%s#%d", key, i)
+			if _, taken := Traces.traces[k]; !taken {
+				key = k
+				break
+			}
+		}
+	}
+	t := NewTrace(Traces.capPer)
+	Traces.traces[key] = t
+	Traces.order = append(Traces.order, key)
+	return t
+}
+
+// Sessions returns the registered trace keys in sorted order (the dump
+// order), with their rings.
+func (c *Collector) Sessions() (keys []string, traces []*Trace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys = append(keys, c.order...)
+	sort.Strings(keys)
+	for _, k := range keys {
+		traces = append(traces, c.traces[k])
+	}
+	return keys, traces
+}
+
+// WriteJSONL dumps every collected trace as JSONL, sessions in sorted
+// key order, events within a session in emission order. Each line
+// gains a "session" field identifying its ring.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	keys, traces := c.Sessions()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, key := range keys {
+		for _, e := range traces[i].Events() {
+			line := struct {
+				Session string `json:"session"`
+				Event
+			}{Session: key, Event: e}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+		if d := traces[i].Dropped(); d > 0 {
+			if _, err := fmt.Fprintf(bw, "{\"session\":%q,\"kind\":\"truncated\",\"n\":%d}\n", key, d); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

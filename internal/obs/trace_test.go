@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTraceTruncatesWithoutReordering is the ring-buffer contract: when
+// more events arrive than the bound retains, the kept window is exactly
+// the most recent `cap` events, still in emission order, and Dropped
+// accounts for the rest.
+func TestTraceTruncatesWithoutReordering(t *testing.T) {
+	const capacity, emitted = 64, 157
+	tr := NewTrace(capacity)
+	for i := 0; i < emitted; i++ {
+		tr.Emit(Event{Layer: "dram", Kind: "act", Row: uint64(i)})
+	}
+	if tr.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", tr.Len(), capacity)
+	}
+	if got, want := tr.Dropped(), uint64(emitted-capacity); got != want {
+		t.Fatalf("Dropped = %d, want %d", got, want)
+	}
+	events := tr.Events()
+	for i, e := range events {
+		wantSeq := uint64(emitted - capacity + i)
+		if e.Seq != wantSeq || e.Row != wantSeq {
+			t.Fatalf("event %d = seq %d row %d, want %d (reordered or lost)", i, e.Seq, e.Row, wantSeq)
+		}
+		if i > 0 && e.Seq != events[i-1].Seq+1 {
+			t.Fatalf("non-contiguous retained window at %d", i)
+		}
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	tr.Emit(Event{Kind: "act"}) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace not inert")
+	}
+}
+
+func TestTraceWriteJSONL(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Emit(Event{TimeNS: 1.5, Layer: "dram", Kind: "flip", Bank: 2, Row: 500, N: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatalf("invalid JSONL: %v", err)
+	}
+	if e.Kind != "flip" || e.Bank != 2 || e.Row != 500 || e.N != 3 {
+		t.Fatalf("round trip = %+v", e)
+	}
+}
+
+// TestCollectorDeterministicOrder checks that the collector dumps
+// sessions in sorted key order regardless of registration order, so a
+// trace file is identical for every worker schedule.
+func TestCollectorDeterministicOrder(t *testing.T) {
+	defer DisableTracing()
+	EnableTracing(16)
+	if !TracingEnabled() {
+		t.Fatal("tracing not enabled")
+	}
+	// Register out of sorted order.
+	for _, seed := range []int64{0x30, 0x10, 0x20, 0x10} { // duplicate 0x10 gets #2
+		tr := SessionTrace(seed)
+		if tr == nil {
+			t.Fatal("SessionTrace returned nil while enabled")
+		}
+		tr.Emit(Event{Layer: "hammer", Kind: "pattern", N: seed})
+	}
+	var buf bytes.Buffer
+	if err := Traces.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var sessions []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line struct {
+			Session string `json:"session"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, line.Session)
+	}
+	want := []string{
+		"session-0000000000000010",
+		"session-0000000000000010#2",
+		"session-0000000000000020",
+		"session-0000000000000030",
+	}
+	if len(sessions) != len(want) {
+		t.Fatalf("sessions = %v", sessions)
+	}
+	for i := range want {
+		if sessions[i] != want[i] {
+			t.Fatalf("dump order %v, want %v", sessions, want)
+		}
+	}
+
+	DisableTracing()
+	if SessionTrace(1) != nil {
+		t.Fatal("SessionTrace must return nil when disabled")
+	}
+}
