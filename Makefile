@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+SERVESMOKE_OUT ?= smoke-artifacts
 
-.PHONY: build vet test race determinism doccheck verify bench fuzz
+.PHONY: build vet test race determinism doccheck verify bench fuzz servesmoke
 
 build:
 	$(GO) build ./...
@@ -25,11 +26,12 @@ determinism:
 	$(GO) test -race -run 'Determinism' ./internal/campaign ./internal/experiments
 
 # doccheck keeps the documentation from rotting: every package must
-# carry a package doc comment, and every relative link in the root
-# markdown documents must resolve. (vet is listed so `make doccheck`
-# stands alone as the docs gate; verify already runs it.)
+# carry a package doc comment, every relative link in the root
+# markdown documents must resolve, and API.md must document every
+# route the campaign server registers. (vet is listed so `make
+# doccheck` stands alone as the docs gate; verify already runs it.)
 doccheck: vet
-	$(GO) test -run 'TestPackageDocComments|TestDocLinks' .
+	$(GO) test -run 'TestPackageDocComments|TestDocLinks|TestAPIDocCoversRoutes' .
 
 verify: build vet test race determinism doccheck
 
@@ -47,3 +49,12 @@ fuzz:
 # (BENCH_<date>.json); see cmd/bench for flags.
 bench:
 	$(GO) run ./cmd/bench
+
+# servesmoke boots the real serverd binary, submits a short campaign
+# job over HTTP, diffs the served result against the golden canonical
+# envelope, then SIGTERM-drains it with a job still in flight and
+# requires a clean exit. Artifacts (result, metrics, per-job
+# manifests) land in SERVESMOKE_OUT; CI uploads them.
+servesmoke:
+	RHOHAMMER_SERVESMOKE=1 SERVESMOKE_OUT=$(abspath $(SERVESMOKE_OUT)) \
+		$(GO) test -count=1 -v -run 'TestServeSmoke' ./cmd/serverd

@@ -12,7 +12,9 @@
 // budgets (table6 at scale 1 takes a couple of minutes). -parallel
 // bounds the campaign worker pool; every experiment's bytes are
 // identical for any worker count — parallelism only changes wall-clock
-// time.
+// time. -json -canon emits the canonical envelope (scheduling noise
+// zeroed), the exact bytes serverd's result endpoint serves; see
+// API.md.
 //
 // Observability (see ARCHITECTURE.md):
 //
@@ -50,6 +52,7 @@ func main() {
 	only := flag.String("only", "", "run exactly one named experiment")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	asJSON := flag.Bool("json", false, "emit structured JSON (with per-cell stats) instead of text")
+	canon := flag.Bool("canon", false, "with -json, zero the scheduling-dependent fields (workers, wall times) so the bytes depend only on seed and scale — the envelope serverd serves")
 	simcheck := flag.Bool("simcheck", false, "audit every simulated session against the slow reference model (order-of-magnitude slower; panics on divergence)")
 	manifestPath := flag.String("manifest", "", "write a run manifest (JSON) to this path")
 	metricsPath := flag.String("metrics", "", "write a Prometheus-style counter snapshot to this path (\"-\" for stdout)")
@@ -77,8 +80,10 @@ func main() {
 	names := experiments.Registry.Names()
 
 	if *list {
-		for _, n := range names {
-			e, _ := experiments.Registry.Lookup(n)
+		// Lexical order, not registration order: listings must be stable
+		// however the registry is assembled (GET /v1/specs shares this
+		// contract; TestListSortedOrder pins it).
+		for _, e := range experiments.Registry.SortedEntries() {
 			fmt.Printf("%-18s %-7s %s\n", e.Name, e.Kind, e.Title)
 		}
 		return
@@ -147,7 +152,11 @@ func main() {
 			continue
 		}
 		if *asJSON {
-			if err := experiments.WriteOutcomeJSON(os.Stdout, name, cfg, res, out); err != nil {
+			write := experiments.WriteOutcomeJSON
+			if *canon {
+				write = experiments.WriteCanonicalOutcomeJSON
+			}
+			if err := write(os.Stdout, name, cfg, res, out); err != nil {
 				fatal(err)
 			}
 			continue
@@ -227,7 +236,7 @@ func runRecord(name string, out *campaign.Outcome, err error) obs.RunRecord {
 }
 
 func usage(names []string) {
-	fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-scale X] [-parallel W] [-json] [-manifest M] [-metrics P] [-trace T] <experiment...|all>\n")
+	fmt.Fprintf(os.Stderr, "usage: experiments [-seed N] [-scale X] [-parallel W] [-json [-canon]] [-manifest M] [-metrics P] [-trace T] <experiment...|all>\n")
 	fmt.Fprintf(os.Stderr, "       experiments -only <experiment>\n")
 	fmt.Fprintf(os.Stderr, "       experiments -list\nexperiments:")
 	for _, n := range names {

@@ -1,0 +1,102 @@
+// Command serverd is the long-lived campaign service: the experiment
+// registry behind an HTTP job API (see API.md for the wire contract).
+//
+// Usage:
+//
+//	serverd [-addr :8077] [-shards N] [-queue N] [-retain N]
+//	        [-retry-after D] [-manifest-dir DIR] [-seed N]
+//	        [-drain-timeout D]
+//
+// Jobs are admitted with POST /v1/jobs (a registered spec name or an
+// inline cell grid), execute on a pool of -shards concurrent campaign
+// runners with at most -queue jobs waiting (beyond that POST returns
+// 429 with Retry-After), and are polled via GET /v1/jobs/{id}. The
+// result endpoint serves the canonical envelope — byte-identical to
+// `experiments -json -canon -only <spec>` at the same seed and scale.
+//
+// On SIGTERM or SIGINT the server drains: admission stops (POST
+// returns 503, /healthz reports "draining"), in-flight and queued jobs
+// run to completion, results stay fetchable throughout, and the
+// process exits 0 once idle. If the drain exceeds -drain-timeout the
+// remaining jobs are cancelled first.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rhohammer/internal/experiments"
+	"rhohammer/internal/obs"
+	"rhohammer/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address (host:port; port 0 picks a free port)")
+	shards := flag.Int("shards", 2, "jobs executing concurrently")
+	queue := flag.Int("queue", 16, "admitted jobs waiting beyond the running ones; full queue returns 429")
+	retain := flag.Int("retain", 64, "terminal jobs kept for result retrieval before oldest-first eviction")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	manifestDir := flag.String("manifest-dir", "", "write one obs manifest per finished job into this directory")
+	seed := flag.Int64("seed", 42, "default seed for jobs that do not specify one")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before cancelling them")
+	flag.Parse()
+
+	// Counter aggregation is always on in the serving process — the
+	// /metrics endpoint is part of the API, and obs provably never
+	// perturbs results (TestObsDoesNotPerturbResults).
+	obs.SetEnabled(true)
+
+	srv, err := serve.New(serve.Config{
+		Registry:    experiments.Registry,
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		Retain:      *retain,
+		RetryAfter:  *retryAfter,
+		ManifestDir: *manifestDir,
+		DefaultSeed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address line is load-bearing: the smoke harness
+	// parses it to find a port-0 listener.
+	fmt.Printf("serverd listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("serverd: %v: draining (timeout %v)", s, *drainTimeout)
+	case err := <-serveErr:
+		log.Fatalf("serverd: %v", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("serverd: drain: %v (remaining jobs cancelled)", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("serverd: shutdown: %v", err)
+	}
+	log.Printf("serverd: drained, exiting")
+}

@@ -8,6 +8,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"rhohammer/internal/serve"
 )
 
 // docDirs returns every Go package directory the doc check covers: the
@@ -61,6 +63,24 @@ func TestPackageDocComments(t *testing.T) {
 		}
 		if !documented {
 			t.Errorf("package %s has no package doc comment on any file", dir)
+		}
+	}
+}
+
+// TestAPIDocCoversRoutes requires API.md to document every route the
+// campaign server registers. serve.Routes() is the single source of
+// truth New registers handlers from, so a route added there without a
+// matching "## METHOD /path" section fails here — the wire contract
+// and its documentation cannot drift apart.
+func TestAPIDocCoversRoutes(t *testing.T) {
+	data, err := os.ReadFile("API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, route := range serve.Routes() {
+		if !strings.Contains(doc, "## "+route) {
+			t.Errorf("API.md has no \"## %s\" section", route)
 		}
 	}
 }

@@ -135,8 +135,12 @@ func (s Spec) CellSeed(key string) int64 {
 	return stats.SplitSeed(s.Seed, s.Name+"/"+key)
 }
 
-// validate reports structural misuse of a Spec before any cell runs.
-func (s Spec) validate() error {
+// Validate reports structural misuse of a Spec — a missing name or
+// Exec, empty or duplicate cell keys — before any cell runs. Runner
+// calls it on every run; callers that build Specs from untrusted input
+// (the serve layer's inline grids) call it early to turn misuse into a
+// client error instead of a failed run.
+func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("campaign: spec has no name")
 	}

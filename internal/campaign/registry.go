@@ -94,3 +94,13 @@ func (r *Registry) SortedNames() []string {
 	sort.Strings(out)
 	return out
 }
+
+// SortedEntries returns every entry in lexical name order — the stable
+// listing order user-facing surfaces (`experiments -list`, serverd's
+// GET /v1/specs) present regardless of registration order, which is
+// free to track the paper's narrative instead.
+func (r *Registry) SortedEntries() []Entry {
+	out := r.Entries()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -26,6 +27,14 @@ type Runner struct {
 	// success; retries exist for transient faults (e.g. a panicking
 	// profile under memory pressure), not for flaky simulations.
 	Retries int
+	// OnCell, when non-nil, is called once per cell right after the
+	// cell finishes (successfully or not), with the cell's index in
+	// Spec.Cells and its final stats. It is invoked from worker
+	// goroutines — potentially concurrently — and must not block for
+	// long: it exists for progress reporting (the serve layer's
+	// partial-results view), never for result collection, and cannot
+	// perturb results because it observes stats only.
+	OnCell func(index int, stat CellStat)
 }
 
 // CellStat records how one cell's execution went — the per-cell wall
@@ -87,7 +96,18 @@ func (o *Outcome) Occupancy() float64 {
 // Gather is not run on partial results — Outcome.Result is nil whenever
 // the error is non-nil.
 func (r Runner) Run(s Spec) (*Outcome, error) {
-	if err := s.validate(); err != nil {
+	return r.RunContext(context.Background(), s)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// cancelled the runner stops dispatching new cells, lets the cells
+// already executing finish (Exec does not take a context — cells are
+// meant to be fine-grained), and records ctx's error as the stat of
+// every cell that never started. Cancellation cannot skew results:
+// every cell that did run used its derived seed, so a partial grid is a
+// prefix-consistent subset of the full run.
+func (r Runner) RunContext(ctx context.Context, s Spec) (*Outcome, error) {
+	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(s.Cells)
@@ -107,7 +127,11 @@ func (r Runner) Run(s Spec) (*Outcome, error) {
 	stats := make([]CellStat, n)
 	if workers == 1 {
 		for i := range s.Cells {
-			results[i], stats[i] = r.runCell(s, i)
+			if ctx.Err() != nil {
+				break
+			}
+			results[i], stats[i] = r.runCell(ctx, s, i)
+			r.notify(i, stats[i])
 		}
 	} else {
 		next := make(chan int)
@@ -117,15 +141,30 @@ func (r Runner) Run(s Spec) (*Outcome, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					results[i], stats[i] = r.runCell(s, i)
+					results[i], stats[i] = r.runCell(ctx, s, i)
+					r.notify(i, stats[i])
 				}
 			}()
 		}
+	dispatch:
 		for i := 0; i < n; i++ {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(next)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		// Cells the dispatch loop never handed out carry the context
+		// error so the caller can tell "not run" from "ran and failed".
+		for i := range stats {
+			if stats[i].Attempts == 0 {
+				stats[i] = CellStat{Key: s.Cells[i].Key, Seed: s.CellSeed(s.Cells[i].Key), Err: err.Error()}
+			}
+		}
 	}
 
 	out := &Outcome{
@@ -163,10 +202,19 @@ func (r Runner) Run(s Spec) (*Outcome, error) {
 	return out, nil
 }
 
+// notify invokes the OnCell hook when one is installed.
+func (r Runner) notify(i int, stat CellStat) {
+	if r.OnCell != nil {
+		r.OnCell(i, stat)
+	}
+}
+
 // runCell executes one cell (with the runner's retry budget), timing it
 // and converting a panic into an error so a failing cell reports its
-// key instead of killing the process from a worker goroutine.
-func (r Runner) runCell(s Spec, i int) (any, CellStat) {
+// key instead of killing the process from a worker goroutine. A
+// cancelled context stops the retry loop between attempts but never
+// interrupts an attempt in flight.
+func (r Runner) runCell(ctx context.Context, s Spec, i int) (any, CellStat) {
 	c := s.Cells[i]
 	stat := CellStat{Key: c.Key, Seed: s.CellSeed(c.Key)}
 	t0 := time.Now()
@@ -179,6 +227,9 @@ func (r Runner) runCell(s Spec, i int) (any, CellStat) {
 			break
 		}
 		result = nil
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	stat.Wall = time.Since(t0)
 	if err != nil {

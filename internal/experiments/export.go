@@ -34,6 +34,30 @@ func WriteJSON(w io.Writer, experiment string, cfg Config, result any) error {
 	return WriteOutcomeJSON(w, experiment, cfg, result, nil)
 }
 
+// WriteCanonicalOutcomeJSON is WriteOutcomeJSON with every
+// scheduling-dependent field zeroed: the resolved worker count, the
+// campaign wall time, and the per-cell wall times. What remains is a
+// pure function of (experiment, seed, scale) — byte-identical across
+// runs, worker counts and machines — which is the envelope serverd's
+// result endpoint serves and the determinism tests diff. The cell
+// seeds, keys, attempt counts and the result itself are untouched;
+// timings live on in the run manifest, which exists to record one
+// particular execution rather than the reproducible artifact.
+func WriteCanonicalOutcomeJSON(w io.Writer, experiment string, cfg Config, result any, out *campaign.Outcome) error {
+	if out != nil {
+		canon := *out
+		canon.Workers = 0
+		canon.Wall = 0
+		canon.Cells = make([]campaign.CellStat, len(out.Cells))
+		copy(canon.Cells, out.Cells)
+		for i := range canon.Cells {
+			canon.Cells[i].Wall = 0
+		}
+		out = &canon
+	}
+	return WriteOutcomeJSON(w, experiment, cfg, result, out)
+}
+
 // WriteOutcomeJSON is WriteJSON plus the campaign outcome's per-cell
 // stats (omitted when out is nil).
 func WriteOutcomeJSON(w io.Writer, experiment string, cfg Config, result any, out *campaign.Outcome) error {

@@ -25,6 +25,51 @@ func TestWriteJSONEnvelope(t *testing.T) {
 	}
 }
 
+// TestCanonicalEnvelopeIsSchedulingFree pins the canonical exporter:
+// two runs of the same campaign at different worker counts produce
+// byte-identical canonical envelopes even though their as-executed
+// envelopes differ in wall times, and the canonical form zeroes only
+// the scheduling fields (seeds, keys and result survive).
+func TestCanonicalEnvelopeIsSchedulingFree(t *testing.T) {
+	canon := func(workers int) []byte {
+		cfg := Config{Seed: 42, Scale: 0.1, Workers: workers}
+		res, out, err := RunOutcome("table2", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCanonicalOutcomeJSON(&buf, "table2", cfg, res, out); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := canon(1), canon(8)
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonical envelopes differ across worker counts:\n%s\n%s", a, b)
+	}
+	var env map[string]any
+	if err := json.Unmarshal(a, &env); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := env["workers"]; has {
+		t.Error("canonical envelope still carries the resolved worker count")
+	}
+	if _, has := env["wall_ns"]; has {
+		t.Error("canonical envelope still carries the campaign wall time")
+	}
+	cells := env["cells"].([]any)
+	if len(cells) == 0 {
+		t.Fatal("canonical envelope lost its cells")
+	}
+	cell := cells[0].(map[string]any)
+	if cell["wall_ns"].(float64) != 0 {
+		t.Error("canonical cell still carries a wall time")
+	}
+	if cell["key"] == "" || cell["seed"].(float64) == 0 {
+		t.Errorf("canonical cell lost its identity: %v", cell)
+	}
+}
+
 func TestFig4JSONMarshals(t *testing.T) {
 	res := &Fig4Result{
 		Archs: []string{"A"},

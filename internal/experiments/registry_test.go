@@ -34,6 +34,27 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 	}
 }
 
+// TestListSortedOrder pins the listing order surfaced by
+// `experiments -list` and serverd's GET /v1/specs: lexical by name and
+// independent of registration order, which tracks the paper's
+// narrative instead.
+func TestListSortedOrder(t *testing.T) {
+	entries := Registry.SortedEntries()
+	if len(entries) != len(expectedCampaigns) {
+		t.Fatalf("SortedEntries has %d entries, want %d", len(entries), len(expectedCampaigns))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Name >= entries[i].Name {
+			t.Errorf("SortedEntries out of order at %d: %q >= %q", i, entries[i-1].Name, entries[i].Name)
+		}
+	}
+	for _, e := range entries {
+		if e.Title == "" {
+			t.Errorf("entry %s lost its description in the sorted listing", e.Name)
+		}
+	}
+}
+
 // TestRegistryResolvesEveryName is what `experiments -only <name>`
 // relies on: every registered entry must build a well-formed spec.
 func TestRegistryResolvesEveryName(t *testing.T) {

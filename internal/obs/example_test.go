@@ -1,0 +1,55 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+
+	"rhohammer/internal/obs"
+)
+
+// ExampleRegistry shows the counter/gauge surface: counters are
+// registered once and bumped lock-free from hot paths; gauges poll
+// live state at snapshot time; WritePrometheus renders both in the
+// text exposition format, sorted by name.
+func ExampleRegistry() {
+	reg := obs.NewRegistry()
+	acts := reg.Counter("demo_activations_total")
+	flips := reg.Counter("demo_flips_total")
+	reg.Gauge("demo_rows_live", func() int64 { return 3 })
+
+	acts.Add(128)
+	flips.Inc()
+
+	reg.WritePrometheus(os.Stdout)
+	// Output:
+	// # TYPE demo_activations_total counter
+	// demo_activations_total 128
+	// # TYPE demo_flips_total counter
+	// demo_flips_total 1
+	// # TYPE demo_rows_live gauge
+	// demo_rows_live 3
+}
+
+// ExampleNewManifest builds the run record every command (and every
+// serverd job) emits: enough configuration to re-run the campaign
+// byte-identically from the manifest alone.
+func ExampleNewManifest() {
+	m := obs.NewManifest("example", []string{"-seed", "7", "demo"})
+	m.Seed, m.Scale, m.Workers = 7, 1, 4
+	m.Runs = []obs.RunRecord{{
+		Name: "demo",
+		Cells: []obs.CellRecord{
+			{Key: "a", Seed: 1111, Attempts: 1},
+			{Key: "b", Seed: 2222, Attempts: 1},
+		},
+	}}
+
+	fmt.Println(m.Tool, m.Seed)
+	for _, c := range m.Runs[0].Cells {
+		fmt.Println(c.Key, c.Seed)
+	}
+	// Output:
+	// example 7
+	// a 1111
+	// b 2222
+}

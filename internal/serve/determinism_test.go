@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"rhohammer/internal/experiments"
+)
+
+// TestHTTPResultMatchesCLIEnvelope pins the serving determinism
+// contract end to end on the real experiment registry: the result a
+// job produces over HTTP with seed S is byte-identical to what
+// `cmd/experiments -json -canon -only <spec> -seed S` writes (the CLI
+// calls exactly the RunOutcome + WriteCanonicalOutcomeJSON pair used
+// below), for every per-job parallelism and shard-pool size.
+func TestHTTPResultMatchesCLIEnvelope(t *testing.T) {
+	const spec, seed = "table2", 123
+
+	// The CLI path: registry build, Runner run, canonical envelope.
+	cliBytes := func(workers int) []byte {
+		cfg := experiments.Config{Seed: seed, Scale: 1, Workers: workers}
+		res, out, err := experiments.RunOutcome(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := experiments.WriteCanonicalOutcomeJSON(&buf, spec, cfg, res, out); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := cliBytes(1)
+
+	for _, shards := range []int{1, 3} {
+		_, ts := newTestServer(t, Config{Registry: experiments.Registry, Shards: shards})
+		for _, parallel := range []int{1, 2, 8} {
+			id := submit(t, ts, `{"spec":"`+spec+`","seed":123,"parallel":`+strconv.Itoa(parallel)+`}`)
+			st := waitTerminal(t, ts, id)
+			if st.State != StateDone {
+				t.Fatalf("shards=%d parallel=%d: job = %s (%s)", shards, parallel, st.State, st.Error)
+			}
+			code, got := fetch(t, ts.URL+st.ResultURL)
+			if code != http.StatusOK {
+				t.Fatalf("GET result = %d", code)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("shards=%d parallel=%d: HTTP envelope differs from CLI envelope\n got: %s\nwant: %s",
+					shards, parallel, got, want)
+			}
+		}
+	}
+
+	// And the CLI itself is worker-count independent, so the comparison
+	// above is against a canonical artifact, not a coincidence.
+	if !bytes.Equal(cliBytes(4), want) {
+		t.Error("CLI canonical envelope varies with -parallel")
+	}
+}

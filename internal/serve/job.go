@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"rhohammer/internal/campaign"
+)
+
+// State is a job's lifecycle phase. Transitions only move forward:
+// queued → running → {done, failed}, and queued/running → canceled.
+type State string
+
+const (
+	// StateQueued means the job is admitted but no shard has picked it
+	// up yet.
+	StateQueued State = "queued"
+	// StateRunning means a shard is executing the job's campaign.
+	StateRunning State = "running"
+	// StateDone means the campaign completed and the result envelope is
+	// available.
+	StateDone State = "done"
+	// StateFailed means the campaign returned an error (the partial
+	// per-cell stats are still reported).
+	StateFailed State = "failed"
+	// StateCanceled means DELETE reached the job before it finished.
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one admitted campaign execution. All mutable fields are
+// guarded by the owning Server's mutex; the HTTP handlers only ever see
+// snapshots (jobStatus) taken under it.
+type Job struct {
+	ID       string
+	SpecName string
+	Seed     int64
+	Scale    float64
+	Parallel int
+
+	state    State
+	err      string
+	canceled bool // cancellation requested (DELETE observed)
+	cancel   context.CancelFunc
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	spec      campaign.Spec
+	cellsDone int
+	// cellStats is index-aligned with spec.Cells. Key and Seed are
+	// prefilled at admission (both are pure functions of the spec), so
+	// the status endpoint can show the full grid with per-cell progress
+	// before and during the run; OnCell fills in the rest.
+	cellStats []campaign.CellStat
+
+	// result holds the canonical envelope (scheduling noise zeroed),
+	// resultTimed the as-executed envelope (?timings=1), manifest the
+	// per-job obs manifest. All are set exactly once, at completion.
+	result      []byte
+	resultTimed []byte
+	manifest    []byte
+}
+
+// jobStatus is the GET /v1/jobs/{id} response body.
+type jobStatus struct {
+	ID       string  `json:"id"`
+	Spec     string  `json:"spec"`
+	State    State   `json:"state"`
+	Seed     int64   `json:"seed"`
+	Scale    float64 `json:"scale"`
+	Parallel int     `json:"parallel,omitempty"`
+
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+
+	CellsTotal int                 `json:"cells_total"`
+	CellsDone  int                 `json:"cells_done"`
+	Cells      []campaign.CellStat `json:"cells,omitempty"`
+
+	Error       string `json:"error,omitempty"`
+	ResultURL   string `json:"result_url,omitempty"`
+	ManifestURL string `json:"manifest_url,omitempty"`
+}
+
+// status snapshots the job for the status endpoint. Caller holds the
+// server mutex.
+func (j *Job) status() jobStatus {
+	st := jobStatus{
+		ID:         j.ID,
+		Spec:       j.SpecName,
+		State:      j.state,
+		Seed:       j.Seed,
+		Scale:      j.Scale,
+		Parallel:   j.Parallel,
+		Created:    j.created.UTC().Format(time.RFC3339Nano),
+		CellsTotal: len(j.spec.Cells),
+		CellsDone:  j.cellsDone,
+		Error:      j.err,
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	st.Cells = make([]campaign.CellStat, len(j.cellStats))
+	copy(st.Cells, j.cellStats)
+	if j.state == StateDone {
+		st.ResultURL = "/v1/jobs/" + j.ID + "/result"
+	}
+	if j.manifest != nil {
+		st.ManifestURL = "/v1/jobs/" + j.ID + "/manifest"
+	}
+	return st
+}

@@ -1,0 +1,606 @@
+// Package serve exposes the campaign engine as a long-lived HTTP
+// service: the serving layer the ROADMAP's "heavy traffic" goal needs
+// on top of the one-shot CLIs.
+//
+// A Server wraps a campaign Registry behind a small job API
+// (cmd/serverd is the binary; API.md is the wire contract). Clients
+// POST a job — a registered spec name or an inline cell grid, plus
+// seed/scale/parallel — and poll it to completion; the result endpoint
+// serves the canonical JSON envelope, byte-identical to
+// `experiments -json -canon -only <spec>` at the same seed and scale,
+// for any shard-pool size and any per-job parallelism. Determinism is
+// inherited from internal/campaign (per-cell seeds derive from stable
+// keys) and pinned by this package's tests.
+//
+// Capacity is bounded at two levels: Shards jobs execute concurrently
+// (each on its own campaign.Runner pool of Parallel workers) and at
+// most QueueDepth more wait. When both are full POST returns 429 with
+// a Retry-After hint — backpressure, never unbounded buffering.
+// DELETE cancels a job (queued jobs never start; running jobs stop
+// dispatching cells at the next boundary), Drain stops admission and
+// waits for everything admitted to finish (SIGTERM in serverd), and
+// completed jobs are retained up to a bound, oldest-evicted-first.
+// Every finished job carries an obs run manifest recording exactly
+// what executed.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhohammer/internal/campaign"
+	"rhohammer/internal/experiments"
+	"rhohammer/internal/obs"
+)
+
+// Serve-layer counters, exposed at /metrics next to the substrate's.
+// They count unconditionally (admission is cold path, so the
+// obs.Enabled gate that protects the hot layers is unnecessary here).
+var (
+	jobsAccepted  = obs.Default.Counter("rhohammer_serve_jobs_accepted_total")
+	jobsRejected  = obs.Default.Counter("rhohammer_serve_jobs_rejected_total")
+	jobsCompleted = obs.Default.Counter("rhohammer_serve_jobs_completed_total")
+	jobsFailed    = obs.Default.Counter("rhohammer_serve_jobs_failed_total")
+	jobsCanceled  = obs.Default.Counter("rhohammer_serve_jobs_canceled_total")
+)
+
+// Config parameterizes a Server. The zero value of every field gets a
+// sensible default from New.
+type Config struct {
+	// Registry names the specs POST /v1/jobs accepts. Required.
+	Registry *campaign.Registry
+	// Shards is the number of jobs executing concurrently. Each running
+	// job gets its own campaign.Runner worker pool (the job's parallel
+	// field), so total cell concurrency is at most Shards×parallel.
+	// Default 2.
+	Shards int
+	// QueueDepth bounds the number of admitted-but-not-running jobs.
+	// Default 16.
+	QueueDepth int
+	// Retain is how many terminal jobs are kept for result retrieval;
+	// beyond it the oldest-finished job is evicted. Default 64.
+	Retain int
+	// RetryAfter is the hint returned in the Retry-After header with
+	// 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// ManifestDir, when non-empty, receives one <job-id>.json obs
+	// manifest per finished job (the manifest endpoint serves the same
+	// bytes either way).
+	ManifestDir string
+	// DefaultSeed seeds jobs that do not specify one. Default 42,
+	// matching cmd/experiments.
+	DefaultSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Retain <= 0 {
+		c.Retain = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.DefaultSeed == 0 {
+		c.DefaultSeed = 42
+	}
+	return c
+}
+
+// Server is the HTTP campaign service. Create with New, serve its
+// Handler, and Drain it before exit.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	done     []string // terminal job IDs in completion order, for eviction
+	seq      int
+	draining bool
+	queue    chan *Job
+
+	// queued/running are atomics, not mu-guarded fields: the /metrics
+	// gauges read them from inside the obs registry's snapshot lock,
+	// which would deadlock against a manifest emission holding mu
+	// (attachManifestLocked → obs.Values → gauge).
+	queued  atomic.Int64
+	running atomic.Int64
+
+	shards sync.WaitGroup
+}
+
+// Routes returns every route pattern the server registers, in API.md
+// order. The doccheck suite pins that API.md documents each of them;
+// keep the two in sync.
+func Routes() []string {
+	return []string{
+		"POST /v1/jobs",
+		"GET /v1/jobs/{id}",
+		"GET /v1/jobs/{id}/result",
+		"GET /v1/jobs/{id}/manifest",
+		"DELETE /v1/jobs/{id}",
+		"GET /v1/specs",
+		"GET /metrics",
+		"GET /healthz",
+	}
+}
+
+// New builds a Server and starts its shard pool. The caller owns the
+// HTTP listener (httptest in tests, net.Listen in serverd) and must
+// call Drain to stop the pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Registry == nil {
+		return nil, errors.New("serve: Config.Registry is required")
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		jobs:  map[string]*Job{},
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	handlers := map[string]http.HandlerFunc{
+		"POST /v1/jobs":              s.handleSubmit,
+		"GET /v1/jobs/{id}":          s.handleStatus,
+		"GET /v1/jobs/{id}/result":   s.handleResult,
+		"GET /v1/jobs/{id}/manifest": s.handleManifest,
+		"DELETE /v1/jobs/{id}":       s.handleCancel,
+		"GET /v1/specs":              s.handleSpecs,
+		"GET /metrics":               s.handleMetrics,
+		"GET /healthz":               s.handleHealthz,
+	}
+	for _, pattern := range Routes() {
+		h, ok := handlers[pattern]
+		if !ok {
+			return nil, fmt.Errorf("serve: route %q has no handler", pattern)
+		}
+		s.mux.HandleFunc(pattern, h)
+	}
+	obs.Default.Gauge("rhohammer_serve_queue_depth", s.queued.Load)
+	obs.Default.Gauge("rhohammer_serve_jobs_running", s.running.Load)
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards.Add(1)
+		go s.shard()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting jobs (POST returns 503) and blocks until every
+// already-admitted job reaches a terminal state and the shard pool has
+// exited. Status, result and manifest endpoints keep serving
+// throughout, so clients can collect results while the server drains.
+// If ctx expires first, every unfinished job is cancelled and Drain
+// waits for the (now short) tail before returning ctx's error.
+// Drain is idempotent; only the first call closes the queue.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.shards.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if !j.state.terminal() {
+				j.canceled = true
+				if j.cancel != nil {
+					j.cancel()
+				}
+			}
+		}
+		s.mu.Unlock()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// shard is one worker of the job pool: it pops admitted jobs and runs
+// them to completion, one at a time.
+func (s *Server) shard() {
+	defer s.shards.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job's campaign and finalizes it.
+func (s *Server) runJob(j *Job) {
+	ctx := context.Background()
+	s.mu.Lock()
+	s.queued.Add(-1)
+	if j.canceled || j.state.terminal() {
+		// Cancelled while queued: it never starts.
+		s.finishLocked(j, StateCanceled, "canceled before start")
+		s.attachManifestLocked(j, nil)
+		s.mu.Unlock()
+		return
+	}
+	var cancel context.CancelFunc
+	ctx, cancel = context.WithCancel(ctx)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	s.running.Add(1)
+	s.mu.Unlock()
+	defer cancel()
+
+	runner := campaign.Runner{
+		Workers: j.Parallel,
+		OnCell: func(i int, stat campaign.CellStat) {
+			s.mu.Lock()
+			j.cellStats[i] = stat
+			j.cellsDone++
+			s.mu.Unlock()
+		},
+	}
+	out, err := runner.RunContext(ctx, j.spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running.Add(-1)
+	if out != nil {
+		// The runner's view is authoritative (it includes never-started
+		// cells after a cancellation).
+		copy(j.cellStats, out.Cells)
+	}
+	switch {
+	case j.canceled:
+		s.finishLocked(j, StateCanceled, "canceled")
+	case err != nil:
+		s.finishLocked(j, StateFailed, err.Error())
+	default:
+		cfg := experiments.Config{Seed: j.Seed, Scale: j.Scale, Workers: j.Parallel}
+		var canon, timed bytes.Buffer
+		encErr := experiments.WriteCanonicalOutcomeJSON(&canon, j.SpecName, cfg, out.Result, out)
+		if encErr == nil {
+			encErr = experiments.WriteOutcomeJSON(&timed, j.SpecName, cfg, out.Result, out)
+		}
+		if encErr != nil {
+			s.finishLocked(j, StateFailed, encErr.Error())
+			break
+		}
+		j.result = canon.Bytes()
+		j.resultTimed = timed.Bytes()
+		s.finishLocked(j, StateDone, "")
+	}
+	s.attachManifestLocked(j, out)
+}
+
+// finishLocked moves a job to a terminal state, updates counters and
+// evicts beyond the retention bound. Caller holds s.mu.
+func (s *Server) finishLocked(j *Job, st State, errText string) {
+	if j.state.terminal() {
+		return
+	}
+	j.state = st
+	j.err = errText
+	j.finished = time.Now()
+	switch st {
+	case StateDone:
+		jobsCompleted.Inc()
+	case StateFailed:
+		jobsFailed.Inc()
+	case StateCanceled:
+		jobsCanceled.Inc()
+	}
+	s.done = append(s.done, j.ID)
+	for len(s.done) > s.cfg.Retain {
+		evict := s.done[0]
+		s.done = s.done[1:]
+		delete(s.jobs, evict)
+	}
+}
+
+// attachManifestLocked records the job's obs manifest (and writes it to
+// ManifestDir when configured). Caller holds s.mu.
+func (s *Server) attachManifestLocked(j *Job, out *campaign.Outcome) {
+	if j.manifest != nil {
+		return
+	}
+	m := obs.NewManifest("serverd", []string{"job", j.ID, "spec", j.SpecName})
+	m.Date = j.finished.UTC().Format(time.RFC3339)
+	m.Seed, m.Scale, m.Workers = j.Seed, j.Scale, j.Parallel
+	rec := obs.RunRecord{Name: j.SpecName, Err: j.err}
+	if out != nil {
+		rec.WallNS = int64(out.Wall)
+		rec.Workers = out.Workers
+		for _, c := range out.Cells {
+			rec.Cells = append(rec.Cells, obs.CellRecord{
+				Key: c.Key, Seed: c.Seed, WallNS: int64(c.Wall),
+				Attempts: c.Attempts, Err: c.Err,
+			})
+		}
+	}
+	m.Runs = []obs.RunRecord{rec}
+	if obs.Enabled() {
+		m.Counters = obs.Default.Values()
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	j.manifest = data
+	if s.cfg.ManifestDir != "" {
+		// Best-effort: a failed manifest write must not fail the job.
+		_ = writeManifestFile(s.cfg.ManifestDir, j.ID, data)
+	}
+}
+
+// jobRequest is the POST /v1/jobs body.
+type jobRequest struct {
+	// Spec names a registered campaign; Inline supplies an ad-hoc grid.
+	// Exactly one must be set.
+	Spec   string      `json:"spec,omitempty"`
+	Inline *InlineSpec `json:"inline,omitempty"`
+	// Seed defaults to the server's DefaultSeed, Scale to 1. Parallel
+	// (the per-job campaign worker pool; 0 = GOMAXPROCS) never changes
+	// result bytes.
+	Seed     *int64  `json:"seed,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	Parallel int     `json:"parallel,omitempty"`
+}
+
+// jobAccepted is the POST /v1/jobs success body.
+type jobAccepted struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	StatusURL string `json:"status_url"`
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid job request: " + err.Error()})
+		return
+	}
+	if (req.Spec == "") == (req.Inline == nil) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "exactly one of \"spec\" and \"inline\" must be set"})
+		return
+	}
+	seed := s.cfg.DefaultSeed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	scale := req.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+
+	var spec campaign.Spec
+	name := req.Spec
+	if req.Inline != nil {
+		var err error
+		spec, err = req.Inline.build(seed)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+		name = spec.Name
+	} else {
+		entry, ok := s.cfg.Registry.Lookup(req.Spec)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown spec %q (GET /v1/specs lists them)", req.Spec)})
+			return
+		}
+		spec = entry.Build(campaign.Params{Seed: seed, Scale: scale})
+	}
+	if err := spec.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+
+	j := &Job{
+		SpecName: name,
+		Seed:     seed,
+		Scale:    scale,
+		Parallel: req.Parallel,
+		state:    StateQueued,
+		created:  time.Now(),
+		spec:     spec,
+	}
+	j.cellStats = make([]campaign.CellStat, len(spec.Cells))
+	for i, c := range spec.Cells {
+		j.cellStats[i] = campaign.CellStat{Key: c.Key, Seed: spec.CellSeed(c.Key)}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
+		return
+	}
+	s.seq++
+	j.ID = fmt.Sprintf("job-%06d", s.seq)
+	select {
+	case s.queue <- j:
+		s.queued.Add(1)
+		s.jobs[j.ID] = j
+	default:
+		s.seq-- // the ID was never issued
+		s.mu.Unlock()
+		jobsRejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: "job queue is full"})
+		return
+	}
+	s.mu.Unlock()
+	jobsAccepted.Inc()
+
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, jobAccepted{ID: j.ID, State: StateQueued, StatusURL: "/v1/jobs/" + j.ID})
+}
+
+// lookupJob fetches a job by path id, writing 404 when absent.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job (completed jobs are evicted beyond the retention bound)"})
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	state, errText := j.state, j.err
+	body := j.result
+	if r.URL.Query().Get("timings") == "1" {
+		body = j.resultTimed
+	}
+	s.mu.Unlock()
+	switch {
+	case state == StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	case state.terminal():
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job %s: %s", state, errText)})
+	default:
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job is %s; poll the status endpoint", state)})
+	}
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	body := j.manifest
+	s.mu.Unlock()
+	if body == nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: "manifest is written when the job finishes"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	switch {
+	case j.state.terminal():
+		st := j.state
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job already %s", st)})
+		return
+	case j.state == StateQueued:
+		// The queued entry is skipped when a shard pops it.
+		j.canceled = true
+		s.finishLocked(j, StateCanceled, "canceled before start")
+	default: // running
+		j.canceled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// specInfo is one GET /v1/specs entry.
+type specInfo struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Title string `json:"title"`
+}
+
+func (s *Server) handleSpecs(w http.ResponseWriter, r *http.Request) {
+	entries := s.cfg.Registry.SortedEntries()
+	out := make([]specInfo, len(entries))
+	for i, e := range entries {
+		out[i] = specInfo{Name: e.Name, Kind: e.Kind.String(), Title: e.Title}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	obs.Default.WritePrometheus(w)
+}
+
+// healthStatus is the GET /healthz body.
+type healthStatus struct {
+	Status  string `json:"status"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := healthStatus{Status: "ok", Queued: int(s.queued.Load()), Running: int(s.running.Load())}
+	if s.draining {
+		h.Status = "draining"
+	}
+	s.mu.Unlock()
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// writeJSON emits one JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
