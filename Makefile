@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 SERVESMOKE_OUT ?= smoke-artifacts
 
-.PHONY: build vet test race determinism doccheck verify bench fuzz servesmoke
+.PHONY: build vet test race determinism doccheck verify bench benchdiff fuzz servesmoke
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,14 @@ fuzz:
 # (BENCH_<date>.json); see cmd/bench for flags.
 bench:
 	$(GO) run ./cmd/bench
+
+# benchdiff is the benchmark regression gate: it compares the two
+# newest checked-in BENCH_*.json snapshots and fails on a >10% ns/op
+# or any allocs/op regression in the pinned steady-state benchmarks
+# (the cmd/bench -micro set). The report lands in benchdiff-report.txt
+# for CI to upload.
+benchdiff:
+	$(GO) run ./cmd/benchdiff -report benchdiff-report.txt
 
 # servesmoke boots the real serverd binary, submits a short campaign
 # job over HTTP, diffs the served result against the golden canonical

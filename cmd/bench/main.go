@@ -94,6 +94,7 @@ func main() {
 		"comma-separated campaigns for the parallel-grid pass (empty skips it)")
 	gridScale := flag.Float64("grid-scale", 0.2, "experiment scale for the grid pass")
 	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	tag := flag.String("tag", "", "suffix for the default output name (BENCH_<date>_<tag>.json); sorts after the untagged snapshot of the same date")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the in-process grid pass")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile taken after the grid pass")
 	flag.Parse()
@@ -101,7 +102,11 @@ func main() {
 	date := time.Now().Format("2006-01-02")
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("BENCH_%s.json", date)
+		if *tag != "" {
+			path = fmt.Sprintf("BENCH_%s_%s.json", date, *tag)
+		} else {
+			path = fmt.Sprintf("BENCH_%s.json", date)
+		}
 	}
 
 	start := time.Now()

@@ -43,6 +43,7 @@ import (
 	"math"
 
 	"rhohammer/internal/arch"
+	"rhohammer/internal/dram"
 	"rhohammer/internal/memctrl"
 	"rhohammer/internal/stats"
 )
@@ -211,6 +212,7 @@ func (r Result) MissRate() float64 {
 // lineState tracks the cache residency of one line.
 type lineState struct {
 	filled   bool
+	decoded  bool    // payload executor: this run already touched the decode slot
 	fillDone float64 // when the last fill completed (may be in flight)
 	flushEff float64 // when the last flush takes effect; <0 = none
 	flushUop int64   // µop index of the last flush; <0 = none
@@ -233,6 +235,12 @@ type Engine struct {
 	accesses uint64
 	hits     uint64
 	misses   uint64
+
+	// actBuf and payloadBatches belong to the compiled-payload executor
+	// (payload.go): the deferred activation buffer, reused across runs,
+	// and the cumulative count of batches handed to the device.
+	actBuf         []dram.ActEntry
+	payloadBatches uint64
 }
 
 // NewEngine builds an engine bound to a controller. The engine keeps its
@@ -463,34 +471,45 @@ func (e *Engine) servedFromCache(ls *lineState, window float64, isLoad bool) boo
 }
 
 // fifoTimes is a small FIFO of completion timestamps used for the LFB
-// and load-queue occupancy models.
+// and load-queue occupancy models. Occupancy is architecturally bounded:
+// every push is preceded by waitForSlot(capSlots) with capSlots ≤
+// LFBCount, so a fixed power-of-two ring holds the queue with no
+// allocation, no compaction and mask-only index arithmetic. The FIFO
+// values and pop order are unchanged from the slice version, so the
+// timing results are bit-identical.
+const (
+	fifoRingSize = 64 // > max LFBCount across all arch models
+	fifoRingMask = fifoRingSize - 1
+)
+
 type fifoTimes struct {
-	buf  []float64
-	head int
+	buf  [fifoRingSize]float64
+	head uint32
+	tail uint32
 }
 
-func (f *fifoTimes) reset() { f.buf = f.buf[:0]; f.head = 0 }
+func (f *fifoTimes) reset() { f.head, f.tail = 0, 0 }
 
-func (f *fifoTimes) len() int { return len(f.buf) - f.head }
+func (f *fifoTimes) len() int { return int(f.tail - f.head) }
 
 func (f *fifoTimes) push(t float64) {
-	if f.head > 64 && f.head*2 > len(f.buf) {
-		f.buf = append(f.buf[:0], f.buf[f.head:]...)
-		f.head = 0
+	if f.tail-f.head == fifoRingSize {
+		panic("cpu: fifoTimes overflow (occupancy bound violated)")
 	}
-	f.buf = append(f.buf, t)
+	f.buf[f.tail&fifoRingMask] = t
+	f.tail++
 }
 
 func (f *fifoTimes) oldest() float64 {
-	if f.len() == 0 {
+	if f.head == f.tail {
 		return math.Inf(-1)
 	}
-	return f.buf[f.head]
+	return f.buf[f.head&fifoRingMask]
 }
 
 // drainUntil pops every entry completing at or before t.
 func (f *fifoTimes) drainUntil(t float64) {
-	for f.len() > 0 && f.buf[f.head] <= t {
+	for f.head != f.tail && f.buf[f.head&fifoRingMask] <= t {
 		f.head++
 	}
 }
@@ -498,9 +517,9 @@ func (f *fifoTimes) drainUntil(t float64) {
 // drainAll advances *now past the last outstanding completion and
 // empties the queue (a full fence).
 func (f *fifoTimes) drainAll(now *float64) {
-	for f.len() > 0 {
-		if f.buf[f.head] > *now {
-			*now = f.buf[f.head]
+	for f.head != f.tail {
+		if v := f.buf[f.head&fifoRingMask]; v > *now {
+			*now = v
 		}
 		f.head++
 	}
@@ -510,9 +529,9 @@ func (f *fifoTimes) drainAll(now *float64) {
 // advancing *now as needed.
 func (f *fifoTimes) waitForSlot(capSlots int, now *float64) {
 	f.drainUntil(*now)
-	for f.len() >= capSlots {
-		if f.buf[f.head] > *now {
-			*now = f.buf[f.head]
+	for int(f.tail-f.head) >= capSlots {
+		if v := f.buf[f.head&fifoRingMask]; v > *now {
+			*now = v
 		}
 		f.head++
 	}

@@ -208,6 +208,16 @@ type Device struct {
 	// OnRefresh, if set, is invoked at each REF with the bank-0 sampler
 	// snapshot (keys and counts). Diagnostics and tests only.
 	OnRefresh func(keys []uint64, counts []int)
+
+	// stateSlab is the bump allocator behind stateSlow: row states are
+	// carved from fixed-size chunks instead of allocated one by one.
+	// Mapping-recovery campaigns touch ~10⁵ distinct rows per run, and
+	// per-row allocation was the top object-count site in the table6 /
+	// recovery heap profiles. States never free individually (touched
+	// pins them for the device's lifetime), so a slab retains nothing
+	// beyond what the maps already hold. Kept at the end of the struct
+	// so the hot fields above keep their cache-line placement.
+	stateSlab []rowState
 }
 
 // NewDevice builds a device for the given DIMM profile. Seed fixes the
@@ -288,11 +298,21 @@ func (d *Device) state(bank int, row uint64) *rowState {
 	return d.stateSlow(bank, row)
 }
 
+// stateSlabChunk is the slab granularity: big enough to amortize the
+// allocation, small enough that a short-lived device wastes little.
+const stateSlabChunk = 1024
+
 // stateSlow is the cache-miss path of state.
 func (d *Device) stateSlow(bank int, row uint64) *rowState {
 	st := d.touched[bank][row]
 	if st == nil {
-		st = &rowState{minThresh: math.Inf(1), gate: materializeFloor}
+		if len(d.stateSlab) == 0 {
+			d.stateSlab = make([]rowState, stateSlabChunk)
+		}
+		st = &d.stateSlab[0]
+		d.stateSlab = d.stateSlab[1:]
+		st.minThresh = math.Inf(1)
+		st.gate = materializeFloor
 		d.touched[bank][row] = st
 	}
 	e := &d.rowCache[(row^uint64(bank)<<6)&rowCacheMask]

@@ -1,0 +1,181 @@
+package dram
+
+import "rhohammer/internal/obs"
+
+// Batch-activation surface for the compiled-payload executor
+// (internal/cpu). The executor buffers the ACTs of a compiled schedule
+// and hands them to ActivateBatch in original issue order, flushing the
+// buffer before every REF and at the end of every run — so the device
+// processes the exact event sequence the per-call Activate path would
+// have seen, and every observable (flip log, TRR triggers, samplers,
+// counters, the simcheck shadow stream) stays bit-identical.
+//
+// What batching buys: the (bank,row)→state resolution, the neighbor
+// pinning and the per-call overhead are hoisted to compile time via
+// PrepareAct, and the remaining per-ACT work runs in a tight loop over
+// a flat entry slice instead of being interleaved with CPU-model
+// bookkeeping. Per-bank aggregation stays exactly where it already
+// was: the trrLog append per ACT, replayed once per REF.
+//
+// Rules the executor must follow:
+//
+//   - Entries are appended in the order the interpreted path would have
+//     called Activate. ActivateBatch never reorders them.
+//   - The buffer is flushed before any Refresh reaches the device and
+//     before anything reads device state (flips, counters, row state).
+//   - Eager state creation in PrepareAct is safe: a row state that
+//     exists with zero disturbance and zero acts is observationally
+//     identical to an absent one (the audit's row diff treats absent
+//     rows as zero).
+
+// ActRef is one payload line's preresolved activation target: the
+// pinned row state plus the identifiers every mitigation hook needs.
+// Valid for the device's lifetime — states are created once and mutated
+// in place, never replaced, even across Reset.
+type ActRef struct {
+	st   *rowState
+	key  uint64 // rowKey(bank, row), for the pTRR table
+	row  uint64
+	bank int32
+}
+
+// PrepareAct resolves (bank, row) to a pinned activation target,
+// creating the row state and its blast-radius neighborhood eagerly.
+// Compile-time only.
+func (d *Device) PrepareAct(bank int, row uint64) ActRef {
+	st := d.state(bank, row)
+	if !st.nbrOK {
+		d.fillNeighbors(bank, row, st)
+	}
+	return ActRef{st: st, key: rowKey(bank, row), row: row, bank: int32(bank)}
+}
+
+// ActEntry is one buffered ACT: a preresolved target and its issue time.
+type ActEntry struct {
+	Ref *ActRef
+	At  float64
+}
+
+// ActivateBatch applies a buffered run of ACTs in order. Semantically
+// equivalent to calling Activate(bank, row, at) for each entry; the
+// configuration checks are hoisted out of the loop and the hot
+// configuration (no shadow, no trace, no pTRR, no DDR5 RFM, no row
+// swap) runs a lean loop over the pinned states.
+func (d *Device) ActivateBatch(entries []ActEntry) {
+	if d.rowSwap.enabled {
+		// Row swap remaps addresses dynamically between ACTs, so the
+		// pinned pre-swap states cannot be used; take the full per-call
+		// path, which is bit-identical by construction.
+		for i := range entries {
+			e := &entries[i]
+			d.Activate(int(e.Ref.bank), e.Ref.row, e.At)
+		}
+		return
+	}
+	if d.shadow != nil || d.trace != nil || d.PTRR || d.DIMM.DDR5 {
+		d.activateBatchGeneral(entries)
+		return
+	}
+	// No REF can occur inside a batch, so the refresh epoch check of the
+	// disturb fast path is loop-invariant; with it hoisted, the
+	// steady-state victim update is a compare and an add, hand-inlined
+	// (the compiler declines to inline disturb into this loop).
+	if len(entries) == 0 {
+		return
+	}
+	rc := d.refCount
+	w1, w2 := blastWeights[1], blastWeights[2]
+	// Hammer batches are dominated by same-bank runs, so the per-bank
+	// TRR log is held in a local and written back only on bank switches
+	// (and once at the end), saving a slice-header load/store per ACT.
+	// Per-bank append order and cross-bank interleaving are unchanged.
+	curBank := entries[0].Ref.bank
+	log := d.trrLog[curBank]
+	for i := range entries {
+		e := &entries[i]
+		ref := e.Ref
+		st := ref.st
+		st.acts++
+		bank := ref.bank
+		if bank != curBank {
+			d.trrLog[curBank] = log
+			curBank = bank
+			log = d.trrLog[curBank]
+		}
+		log = append(log, uint32(ref.row))
+		// Victim order (near pair before far pair) matches Activate so
+		// the flip log sequence is bit-identical.
+		if n := st.nbr[0]; n != nil {
+			if n.epochRef == rc && n.disturbance+w1 < n.gate {
+				n.disturbance += w1
+			} else {
+				d.disturbSlow(n, int(bank), ref.row-1, w1, e.At)
+			}
+		}
+		if n := st.nbr[1]; n != nil {
+			if n.epochRef == rc && n.disturbance+w1 < n.gate {
+				n.disturbance += w1
+			} else {
+				d.disturbSlow(n, int(bank), ref.row+1, w1, e.At)
+			}
+		}
+		if n := st.nbr[2]; n != nil {
+			if n.epochRef == rc && n.disturbance+w2 < n.gate {
+				n.disturbance += w2
+			} else {
+				d.disturbSlow(n, int(bank), ref.row-2, w2, e.At)
+			}
+		}
+		if n := st.nbr[3]; n != nil {
+			if n.epochRef == rc && n.disturbance+w2 < n.gate {
+				n.disturbance += w2
+			} else {
+				d.disturbSlow(n, int(bank), ref.row+2, w2, e.At)
+			}
+		}
+	}
+	d.trrLog[curBank] = log
+	// No observer sees actCount between entries in this configuration,
+	// so the counter advances once per batch.
+	d.actCount += uint64(len(entries))
+}
+
+// activateBatchGeneral is the batch loop with every per-ACT observer
+// hook in place, mirroring Activate's statement order exactly (minus
+// the row-swap step, which forces the fallback above).
+func (d *Device) activateBatchGeneral(entries []ActEntry) {
+	for i := range entries {
+		e := &entries[i]
+		ref := e.Ref
+		bank := int(ref.bank)
+		row := ref.row
+		if d.shadow != nil {
+			d.shadow.Activate(bank, row, e.At)
+		}
+		d.actCount++
+		if d.trace != nil {
+			d.trace.Emit(obs.Event{TimeNS: e.At, Layer: "dram", Kind: "act", Bank: bank, Row: row})
+		}
+		st := ref.st
+		st.acts++
+		d.trrLog[bank] = append(d.trrLog[bank], uint32(row))
+		if d.PTRR {
+			d.ptrrCounts.add(ref.key)
+		}
+		if d.DIMM.DDR5 {
+			d.rfmObserve(bank, row)
+		}
+		if n := st.nbr[0]; n != nil {
+			d.disturb(n, bank, row-1, blastWeights[1], e.At)
+		}
+		if n := st.nbr[1]; n != nil {
+			d.disturb(n, bank, row+1, blastWeights[1], e.At)
+		}
+		if n := st.nbr[2]; n != nil {
+			d.disturb(n, bank, row-2, blastWeights[2], e.At)
+		}
+		if n := st.nbr[3]; n != nil {
+			d.disturb(n, bank, row+2, blastWeights[2], e.At)
+		}
+	}
+}

@@ -61,6 +61,19 @@ func TestObsDoesNotPerturbResults(t *testing.T) {
 					n, len(got), len(base[n]))
 			}
 		}
+		if !testing.Short() {
+			// The hammering campaign above ran on the compiled-payload
+			// fast path (nothing armed a controller trace), so the byte
+			// equality just checked is the proof that the payload
+			// executor perturbs no RNG stream. Pin that the fast path
+			// was actually exercised, not silently skipped.
+			if obs.HammerPayloadCompiles.Load() == 0 {
+				t.Error("hammering campaign compiled no payloads (fast path not exercised)")
+			}
+			if obs.HammerPayloadBatches.Load() == 0 {
+				t.Error("hammering campaign executed no activation batches")
+			}
+		}
 	})
 }
 

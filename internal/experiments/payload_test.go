@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"rhohammer/internal/hammer"
+)
+
+// TestCampaignPayloadDifferential is the spec-level bit-identity check
+// for the compiled-payload executor: registered hammering campaigns
+// must render byte-identical output whether their sessions run compiled
+// payloads (the default) or are forced onto the interpreted engine via
+// RHOHAMMER_NOPAYLOAD. Together with the golden-hash tests (which pin
+// the same bytes across history) this guarantees the fast path cannot
+// regenerate any golden.
+func TestCampaignPayloadDifferential(t *testing.T) {
+	cfg := Config{Seed: 42, Scale: 0.2}
+	names := []string{"table3"}
+	if !testing.Short() {
+		// mitigations exercises pTRR, DDR5 RFM and row swap inside real
+		// campaign cells; fig10 sweeps the NOP pseudo-barrier count.
+		names = append(names, "mitigations", "fig10")
+	}
+
+	base := map[string][]byte{}
+	for _, n := range names {
+		base[n] = renderBytes(t, n, cfg)
+	}
+
+	t.Setenv(hammer.NoPayloadEnv, "1")
+	for _, n := range names {
+		if got := renderBytes(t, n, cfg); !bytes.Equal(got, base[n]) {
+			t.Errorf("%s rendered differently on the interpreted engine (%d vs %d bytes): compiled path diverges",
+				n, len(got), len(base[n]))
+		}
+	}
+}

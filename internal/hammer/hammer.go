@@ -184,6 +184,19 @@ type Session struct {
 	// construct fresh ones).
 	progCache map[progKey]*cpu.Program
 
+	// payloadCache memoizes compiled payloads (cpu.Compile) one level
+	// below progCache: the same program under the same execution config
+	// re-runs its flat schedule without re-lowering. Payloads bind
+	// preresolved addresses, so the cache shares progCache's keying plus
+	// the cpu.Config the compilation baked in.
+	payloadCache map[payloadKey]*cpu.Payload
+
+	// DisablePayload forces every run through the interpreted
+	// cpu.Engine.Run path. The differential tests set it to compare the
+	// two paths bit-for-bit; the RHOHAMMER_NOPAYLOAD environment
+	// variable sets it at session creation for A/B debugging.
+	DisablePayload bool
+
 	// auditor is non-nil in simcheck mode; see EnableAudit.
 	auditor *refmodel.Auditor
 
@@ -194,6 +207,8 @@ type Session struct {
 	patternsHammered uint64
 	progBuilds       uint64
 	progHits         uint64
+	payloadBuilds    uint64
+	payloadHits      uint64
 }
 
 // progKey identifies one lowered program: the pattern plus every config
@@ -208,10 +223,19 @@ type progKey struct {
 	baseRow uint64
 }
 
+// payloadKey identifies one compiled payload: the lowered program's
+// identity plus the execution config the compilation baked in.
+type payloadKey struct {
+	pk    progKey
+	style cpu.Style
+	obf   bool
+}
+
 // progCacheLimit bounds the memoized programs per session; long fuzzing
 // campaigns would otherwise accumulate one entry per (pattern, location).
 // The cache is cleared wholesale when full — deterministic, and the
 // steady-state workloads that matter reuse a handful of entries.
+// payloadCache uses the same bound and policy.
 const progCacheLimit = 256
 
 // NewSession creates a session for the architecture/DIMM pair. The seed
@@ -233,9 +257,13 @@ func NewSession(a *arch.Arch, d *arch.DIMM, seed int64) (*Session, error) {
 	ctrl := memctrl.New(a, m, dev)
 	s := &Session{
 		Arch: a, DIMM: d, Map: m, Dev: dev, Ctrl: ctrl,
-		Eng:       cpu.NewEngine(a, ctrl, r),
-		Rand:      r,
-		progCache: make(map[progKey]*cpu.Program),
+		Eng:          cpu.NewEngine(a, ctrl, r),
+		Rand:         r,
+		progCache:    make(map[progKey]*cpu.Program),
+		payloadCache: make(map[payloadKey]*cpu.Payload),
+	}
+	if noPayloadFromEnv() {
+		s.DisablePayload = true
 	}
 	if simcheckFromEnv() {
 		s.EnableAudit()
@@ -273,6 +301,49 @@ func (s *Session) program(pat *pattern.Pattern, cfg Config, bank int, baseRow ui
 	}
 	s.progCache[key] = prog
 	return prog, nil
+}
+
+// usePayload reports whether runs may take the compiled-payload fast
+// path. The executor does not record per-command traces, so an armed
+// controller trace forces the interpreted engine; everything else
+// (simcheck shadow, obs tracing, every mitigation) is handled on the
+// compiled path.
+func (s *Session) usePayload() bool {
+	return !s.DisablePayload && !s.Ctrl.Trace.Armed()
+}
+
+// payload returns the compiled payload for (pat, cfg, bank, baseRow),
+// compiling and memoizing it on first use. prog must be the program the
+// same key resolves to.
+func (s *Session) payload(prog *cpu.Program, pat *pattern.Pattern, cfg Config, bank int, baseRow uint64) (*cpu.Payload, error) {
+	key := payloadKey{
+		pk: progKey{
+			pat: pat, instr: cfg.Instr, barrier: cfg.Barrier,
+			nops: cfg.Nops, banks: cfg.Banks, bank: bank, baseRow: baseRow,
+		},
+		style: cfg.Style, obf: cfg.Obfuscate,
+	}
+	if pl, ok := s.payloadCache[key]; ok {
+		s.payloadHits++
+		if obs.Enabled() {
+			obs.HammerPayloadHits.Inc()
+		}
+		return pl, nil
+	}
+	pl, err := s.Eng.Compile(prog, cpu.Config{Style: cfg.Style, Obfuscate: cfg.Obfuscate})
+	if err != nil {
+		return nil, err
+	}
+	s.payloadBuilds++
+	if obs.Enabled() {
+		obs.HammerPayloadCompiles.Inc()
+		obs.HammerPayloadMiss.Inc()
+	}
+	if len(s.payloadCache) >= progCacheLimit {
+		clear(s.payloadCache)
+	}
+	s.payloadCache[key] = pl
+	return pl, nil
 }
 
 // EnablePTRR turns on the platform pTRR mitigation (§6).
@@ -323,15 +394,24 @@ func (s *Session) HammerPattern(pat *pattern.Pattern, cfg Config, bank int, base
 		iters = 1
 	}
 	flipsBefore := len(s.Dev.Flips())
-	devBefore, ctrlBefore := s.Dev.Counters(), s.Ctrl.Stats()
+	devBefore, ctrlBefore, pbBefore := s.Dev.Counters(), s.Ctrl.Stats(), s.Eng.PayloadBatches()
 	if cfg.SyncRefresh {
 		s.Eng.SyncToRefresh()
 	}
-	res := s.Eng.Run(prog, iters, cpu.Config{Style: cfg.Style, Obfuscate: cfg.Obfuscate})
+	var res cpu.Result
+	if s.usePayload() {
+		pl, err := s.payload(prog, pat, cfg, bank, baseRow)
+		if err != nil {
+			return Result{}, err
+		}
+		res = s.Eng.RunPayload(pl, iters)
+	} else {
+		res = s.Eng.Run(prog, iters, cpu.Config{Style: cfg.Style, Obfuscate: cfg.Obfuscate})
+	}
 	flips := s.Dev.Flips()[flipsBefore:]
 	out := Result{Result: res}
 	out.Flips = append(out.Flips, flips...)
-	s.noteHammer(devBefore, ctrlBefore, &out)
+	s.noteHammer(devBefore, ctrlBefore, pbBefore, &out)
 	return out, nil
 }
 
@@ -361,7 +441,13 @@ func (s *Session) HammerPatternFor(pat *pattern.Pattern, cfg Config, bank int, b
 		return Result{}, fmt.Errorf("hammer: pattern %d rendered to zero accesses", pat.ID)
 	}
 	flipsBefore := len(s.Dev.Flips())
-	devBefore, ctrlBefore := s.Dev.Counters(), s.Ctrl.Stats()
+	devBefore, ctrlBefore, pbBefore := s.Dev.Counters(), s.Ctrl.Stats(), s.Eng.PayloadBatches()
+	var pl *cpu.Payload
+	if s.usePayload() {
+		if pl, err = s.payload(prog, pat, cfg, bank, baseRow); err != nil {
+			return Result{}, err
+		}
+	}
 	var out Result
 	// Run in chunks, re-estimating the remaining iteration count from
 	// the measured pace; a few passes converge for any configuration.
@@ -377,7 +463,12 @@ func (s *Session) HammerPatternFor(pat *pattern.Pattern, cfg Config, bank int, b
 			pace := out.TimeNS / float64(out.Accesses) // ns per access
 			chunkIters = int(remaining/pace)/perIter + 1
 		}
-		res := s.Eng.Run(prog, chunkIters, cpu.Config{Style: cfg.Style, Obfuscate: cfg.Obfuscate})
+		var res cpu.Result
+		if pl != nil {
+			res = s.Eng.RunPayload(pl, chunkIters)
+		} else {
+			res = s.Eng.Run(prog, chunkIters, cpu.Config{Style: cfg.Style, Obfuscate: cfg.Obfuscate})
+		}
 		out.TimeNS += res.TimeNS
 		out.Accesses += res.Accesses
 		out.Hits += res.Hits
@@ -390,7 +481,7 @@ func (s *Session) HammerPatternFor(pat *pattern.Pattern, cfg Config, bank int, b
 		out.EndTime = res.EndTime
 	}
 	out.Flips = append(out.Flips, s.Dev.Flips()[flipsBefore:]...)
-	s.noteHammer(devBefore, ctrlBefore, &out)
+	s.noteHammer(devBefore, ctrlBefore, pbBefore, &out)
 	return out, nil
 }
 

@@ -25,6 +25,12 @@ type SessionCounters struct {
 	// for every repeat trial).
 	ProgramBuilds    uint64 `json:"program_builds"`
 	ProgramCacheHits uint64 `json:"program_cache_hits"`
+	// PayloadCompiles / PayloadCacheHits expose the compiled-payload
+	// memoization one level below the program cache, and PayloadBatches
+	// counts the activation batches the executor handed to the device.
+	PayloadCompiles  uint64 `json:"payload_compiles"`
+	PayloadCacheHits uint64 `json:"payload_cache_hits"`
+	PayloadBatches   uint64 `json:"payload_batches"`
 }
 
 // Counters returns the session's current snapshot.
@@ -35,6 +41,9 @@ func (s *Session) Counters() SessionCounters {
 		PatternsHammered: s.patternsHammered,
 		ProgramBuilds:    s.progBuilds,
 		ProgramCacheHits: s.progHits,
+		PayloadCompiles:  s.payloadBuilds,
+		PayloadCacheHits: s.payloadHits,
+		PayloadBatches:   s.Eng.PayloadBatches(),
 	}
 }
 
@@ -51,7 +60,7 @@ func (s *Session) AttachTrace(t *obs.Trace) {
 // layer is enabled — flushes the dram/memctrl deltas of this call into
 // the global registry. Deltas are safe because Reset only happens
 // between hammer calls, never inside one.
-func (s *Session) noteHammer(devBefore dram.Counters, ctrlBefore memctrl.Stats, res *Result) {
+func (s *Session) noteHammer(devBefore dram.Counters, ctrlBefore memctrl.Stats, pbBefore uint64, res *Result) {
 	s.patternsHammered++
 	if s.trace != nil {
 		s.trace.Emit(obs.Event{TimeNS: res.EndTime, Layer: "hammer", Kind: "pattern",
@@ -73,5 +82,6 @@ func (s *Session) noteHammer(devBefore dram.Counters, ctrlBefore memctrl.Stats, 
 	obs.CtrlConflicts.AddUint(ctrl.Conflicts - ctrlBefore.Conflicts)
 	obs.CtrlDecodeHits.AddUint(ctrl.DecodeHits - ctrlBefore.DecodeHits)
 	obs.CtrlDecodeMiss.AddUint(ctrl.DecodeMisses - ctrlBefore.DecodeMisses)
+	obs.HammerPayloadBatches.AddUint(s.Eng.PayloadBatches() - pbBefore)
 	obs.HammerPatterns.Inc()
 }

@@ -1,0 +1,285 @@
+package hammer
+
+import (
+	"fmt"
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/cpu"
+	"rhohammer/internal/pattern"
+	"rhohammer/internal/stats"
+)
+
+// payloadFingerprint serializes every observable of a session after a
+// hammer run: the cpu-level result, the full device and controller
+// counter snapshots, each individual flip, and — via one probe draw —
+// the position of the session RNG stream. Two runs with equal
+// fingerprints executed the same simulation, consumed the same random
+// numbers, and left the machine in the same state.
+func payloadFingerprint(s *Session, res Result) string {
+	c := s.Counters()
+	fp := fmt.Sprintf("time=%.9f end=%.9f acc=%d hit=%d miss=%d acts=%d"+
+		"|dram acts=%d refs=%d trr=%d rfm=%d swap=%d flips=%d"+
+		"|ctrl acc=%d rh=%d re=%d cf=%d ref=%d dh=%d dm=%d|",
+		res.TimeNS, res.EndTime, res.Accesses, res.Hits, res.Misses, res.ACTs,
+		c.Dram.ACTs, c.Dram.REFs, c.Dram.TRRTriggers, c.Dram.RFMEvents,
+		c.Dram.RowSwapRelocations, c.Dram.Flips,
+		c.Ctrl.Accesses, c.Ctrl.RowHits, c.Ctrl.RowEmpty, c.Ctrl.Conflicts,
+		c.Ctrl.Refreshes, c.Ctrl.DecodeHits, c.Ctrl.DecodeMisses)
+	for _, f := range res.Flips {
+		fp += fmt.Sprintf("f%d:%d:%d:%d:%v:%.9f|", f.Bank, f.Row, f.ByteInRow, f.Bit, f.OneToZero, f.Time)
+	}
+	return fp + fmt.Sprintf("rng=%.17g", s.Rand.Float64())
+}
+
+// payloadScenario is one compiled-vs-interpreted comparison case.
+type payloadScenario struct {
+	name    string
+	arch    func() *arch.Arch
+	dimm    func() *arch.DIMM
+	cfg     Config
+	setup   func(s *Session) // extra session configuration (mitigations, audit, ...)
+	pattern func() *pattern.Pattern
+	bank    int
+	baseRow uint64
+	// One of the two drives the run: activations via HammerPattern,
+	// durationNS via HammerPatternFor.
+	activations int
+	durationNS  float64
+	// wantInterpreted asserts the session must NOT have compiled any
+	// payloads (fallback scenarios).
+	wantInterpreted bool
+}
+
+// runScenario executes the scenario on a fresh session and returns the
+// fingerprint, plus the payload-compile count for fallback assertions.
+func runScenario(t *testing.T, sc payloadScenario, disablePayload bool) (string, uint64) {
+	t.Helper()
+	s, err := NewSession(sc.arch(), sc.dimm(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DisablePayload = disablePayload
+	if sc.setup != nil {
+		sc.setup(s)
+	}
+	pat := sc.pattern()
+	var res Result
+	if sc.durationNS > 0 {
+		res, err = s.HammerPatternFor(pat, sc.cfg, sc.bank, sc.baseRow, sc.durationNS)
+	} else {
+		res, err = s.HammerPattern(pat, sc.cfg, sc.bank, sc.baseRow, sc.activations)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payloadFingerprint(s, res), s.Counters().PayloadCompiles
+}
+
+// payloadScenarios spans the configuration surface the compiled
+// executor must reproduce bit-exactly: both instruction kinds, every
+// barrier, both primitive styles, multi-bank interleave, obfuscation,
+// refresh-synchronized starts, and all four mitigations (TRR is always
+// on; pTRR, DDR5 RFM, row swap, plus the simcheck shadow auditor).
+func payloadScenarios() []payloadScenario {
+	base := func() payloadScenario {
+		return payloadScenario{
+			arch:       arch.RaptorLake,
+			dimm:       arch.DIMMS3,
+			cfg:        Config{Instr: InstrPrefetchT0, Barrier: BarrierNop, Nops: 240, Banks: 1},
+			pattern:    pattern.KnownGood,
+			baseRow:    4096,
+			durationNS: 8e6,
+		}
+	}
+	var scs []payloadScenario
+	add := func(name string, mut func(*payloadScenario)) {
+		sc := base()
+		sc.name = name
+		mut(&sc)
+		scs = append(scs, sc)
+	}
+
+	add("prefetch-nop-cpp", func(sc *payloadScenario) {})
+	add("prefetch-asmjit", func(sc *payloadScenario) { sc.cfg.Style = cpu.StyleAsmJit })
+	add("load-none", func(sc *payloadScenario) {
+		sc.cfg = Config{Instr: InstrLoad, Barrier: BarrierNone, Banks: 1}
+	})
+	add("load-lfence-cpp", func(sc *payloadScenario) {
+		sc.cfg = Config{Instr: InstrLoad, Barrier: BarrierLFence, Banks: 1}
+	})
+	add("prefetch-lfence-asmjit", func(sc *payloadScenario) {
+		sc.cfg = Config{Instr: InstrPrefetchT1, Barrier: BarrierLFence, Banks: 1, Style: cpu.StyleAsmJit}
+	})
+	add("load-mfence", func(sc *payloadScenario) {
+		sc.cfg = Config{Instr: InstrLoad, Barrier: BarrierMFence, Banks: 1}
+	})
+	add("prefetch-cpuid", func(sc *payloadScenario) {
+		sc.cfg = Config{Instr: InstrPrefetchNTA, Barrier: BarrierCPUID, Banks: 1}
+	})
+	add("multibank", func(sc *payloadScenario) { sc.cfg.Banks = 3; sc.bank = 5 })
+	add("obfuscate", func(sc *payloadScenario) { sc.cfg.Obfuscate = true })
+	add("sync-refresh", func(sc *payloadScenario) { sc.cfg.SyncRefresh = true })
+	add("activation-budget", func(sc *payloadScenario) {
+		sc.durationNS = 0
+		sc.activations = 60000
+	})
+	add("comet-lake", func(sc *payloadScenario) { sc.arch = arch.CometLake; sc.dimm = arch.DIMMS1 })
+	add("ptrr", func(sc *payloadScenario) { sc.setup = func(s *Session) { s.EnablePTRR(true) } })
+	add("ddr5-rfm", func(sc *payloadScenario) { sc.arch = arch.AlderLake; sc.dimm = arch.DIMMD1 })
+	add("row-swap", func(sc *payloadScenario) {
+		sc.setup = func(s *Session) { s.Dev.EnableRowSwap(5000) }
+	})
+	add("simcheck-shadow", func(sc *payloadScenario) {
+		sc.setup = func(s *Session) { s.EnableAudit() }
+		sc.durationNS = 4e6 // the shadow replay doubles the cost
+	})
+	add("trace-armed-fallback", func(sc *payloadScenario) {
+		sc.setup = func(s *Session) { s.Ctrl.Trace.Start(1 << 20) }
+		sc.wantInterpreted = true
+		sc.durationNS = 2e6
+	})
+	return scs
+}
+
+// TestPayloadDifferential is the bit-identity contract of the compiled
+// executor: for every scenario, a session running compiled payloads and
+// a session forced onto the interpreted engine must agree on every
+// observable — results, flips, device and controller counters, and the
+// RNG stream position.
+func TestPayloadDifferential(t *testing.T) {
+	for _, sc := range payloadScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			if testing.Short() && sc.durationNS > 4e6 {
+				sc.durationNS = 4e6
+			}
+			compiled, builds := runScenario(t, sc, false)
+			interpreted, _ := runScenario(t, sc, true)
+			if compiled != interpreted {
+				t.Errorf("compiled path diverged from interpreted:\ncompiled:    %s\ninterpreted: %s",
+					compiled, interpreted)
+			}
+			if sc.wantInterpreted {
+				if builds != 0 {
+					t.Errorf("scenario must fall back to the interpreted engine, but compiled %d payloads", builds)
+				}
+			} else if builds == 0 {
+				t.Error("scenario never exercised the compiled path (0 payload compiles)")
+			}
+		})
+	}
+}
+
+// TestPayloadDifferentialRandomTraces drives both engines over fuzzer-
+// generated patterns — irregular slot sequences, decoy tuples, varying
+// amplitudes — at pseudorandom banks and rows.
+func TestPayloadDifferentialRandomTraces(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		fz := pattern.NewFuzzer(pattern.FuzzParams{}, stats.NewRand(seed))
+		pat := fz.Next()
+		sc := payloadScenario{
+			name:       fmt.Sprintf("seed%d", seed),
+			arch:       arch.RaptorLake,
+			dimm:       arch.DIMMS3,
+			cfg:        Config{Instr: InstrPrefetchT0, Barrier: BarrierNop, Nops: 120 + int(seed)*17, Banks: 1 + int(seed)%2},
+			pattern:    func() *pattern.Pattern { return pat },
+			bank:       int(seed) % 8,
+			baseRow:    3000 + uint64(seed)*977,
+			durationNS: 5e6,
+		}
+		t.Run(sc.name, func(t *testing.T) {
+			compiled, _ := runScenario(t, sc, false)
+			interpreted, _ := runScenario(t, sc, true)
+			if compiled != interpreted {
+				t.Errorf("random trace diverged:\ncompiled:    %s\ninterpreted: %s", compiled, interpreted)
+			}
+		})
+	}
+}
+
+// FuzzPayloadDifferential is the native fuzz target for the same
+// contract: arbitrary (seed, config, placement) tuples must never
+// produce a compiled/interpreted divergence.
+func FuzzPayloadDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(1), uint16(4096))
+	f.Add(int64(42), uint8(3), uint8(4), uint8(2), uint16(900))
+	f.Add(int64(7), uint8(17), uint8(255), uint8(0), uint16(60000))
+	f.Fuzz(func(t *testing.T, seed int64, cfgBits, barrierStyle, banks uint8, rowSel uint16) {
+		archs := arch.All()
+		a := archs[int(cfgBits)%len(archs)]
+		dimm := arch.DIMMS3
+		if cfgBits&0x20 != 0 {
+			a = arch.AlderLake()
+			dimm = arch.DIMMD1 // DDR5: RFM + extended mapping
+		}
+		instrs := []Instr{InstrLoad, InstrPrefetchT0, InstrPrefetchT1, InstrPrefetchT2, InstrPrefetchNTA}
+		barriers := []Barrier{BarrierNone, BarrierNop, BarrierLFence, BarrierMFence, BarrierCPUID}
+		cfg := Config{
+			Instr:     instrs[int(cfgBits)%len(instrs)],
+			Barrier:   barriers[int(barrierStyle)%len(barriers)],
+			Nops:      int(barrierStyle)%512 + 1,
+			Banks:     int(banks)%4 + 1,
+			Obfuscate: cfgBits&0x40 != 0,
+		}
+		if barrierStyle&0x80 != 0 {
+			cfg.Style = cpu.StyleAsmJit
+		}
+		fz := pattern.NewFuzzer(pattern.FuzzParams{}, stats.NewRand(seed))
+		pat := fz.Next()
+		sc := payloadScenario{
+			arch:       func() *arch.Arch { return a },
+			dimm:       dimm,
+			cfg:        cfg,
+			pattern:    func() *pattern.Pattern { return pat },
+			bank:       int(cfgBits) % 8,
+			baseRow:    2048 + uint64(rowSel),
+			durationNS: 1.5e6,
+		}
+		if cfgBits&0x80 != 0 {
+			sc.setup = func(s *Session) { s.Dev.EnableRowSwap(uint64(rowSel)%8000 + 100) }
+		}
+		compiled, _ := runScenario(t, sc, false)
+		interpreted, _ := runScenario(t, sc, true)
+		if compiled != interpreted {
+			t.Errorf("divergence for seed=%d cfg=%+v:\ncompiled:    %s\ninterpreted: %s",
+				seed, cfg, compiled, interpreted)
+		}
+	})
+}
+
+// TestPayloadSteadyStateAllocs pins the executor's zero-allocation
+// contract: once the engine, payload and device are warm, RunPayload
+// must not allocate (the activation buffer, line scratch, FIFOs and
+// TRR logs are all reused across runs).
+func TestPayloadSteadyStateAllocs(t *testing.T) {
+	s, err := NewSession(arch.RaptorLake(), arch.DIMMS3(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Instr: InstrPrefetchT0, Barrier: BarrierNop, Nops: 240, Banks: 1}
+	if err := cfg.validate(s.Map.Banks()); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := s.program(pattern.KnownGood(), cfg, 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := s.Eng.Compile(prog, cpu.Config{Style: cfg.Style, Obfuscate: cfg.Obfuscate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every lazily grown structure: line scratch, activation
+	// buffer, per-bank TRR logs, materialized row states.
+	for i := 0; i < 3; i++ {
+		s.Eng.RunPayload(pl, 2000)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		s.Eng.RunPayload(pl, 200)
+	}); n > 0 {
+		t.Errorf("RunPayload allocates %.1f objects per run in steady state, want 0", n)
+	}
+}

@@ -46,10 +46,10 @@ func TestAuditCatchesCorruptDecodeEntry(t *testing.T) {
 	c.Access(pa, 0) // populate the cache entry
 
 	e := &c.decode[((pa>>6)^(pa>>18))&decodeMask]
-	if !e.ok || e.pa != pa {
+	if !e.OK || e.PA != pa {
 		t.Fatal("decode entry not populated where expected")
 	}
-	e.row++ // the corruption
+	e.Row++ // the corruption
 
 	defer func() {
 		p := recover()
@@ -77,7 +77,7 @@ func TestAuditOffIgnoresCorruption(t *testing.T) {
 	const pa = uint64(0x2280)
 	c.Access(pa, 0)
 	e := &c.decode[((pa>>6)^(pa>>18))&decodeMask]
-	e.row++
+	e.Row++
 	defer func() {
 		if p := recover(); p != nil {
 			t.Fatalf("unaudited access panicked: %v", p)

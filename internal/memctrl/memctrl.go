@@ -111,17 +111,18 @@ type Controller struct {
 	// Trace.Start. Disabled by default (zero overhead beyond a branch).
 	Trace Trace
 
-	openRow  []int64 // -1 = precharged
-	lastACT  []float64
-	busyUnit []float64 // earliest next command per bank
-	nextREF  float64
+	// banks holds the per-bank state machines as one array of structs:
+	// a bank's open row, ACT clock and busy clock share a cache line and
+	// a single bounds check in the hot loops.
+	banks   []BankState
+	nextREF float64
 
 	// decode is a direct-mapped cache of the Map.Bank/Map.Row
 	// translation. Hammer loops revisit the same ~dozen physical
 	// addresses millions of times, and evaluating the XOR bank
 	// functions (a popcount per function) dominates the open-row
 	// bookkeeping; the mapping is immutable, so entries never go stale.
-	decode []decodeEntry
+	decode []DecodeEntry
 
 	// audit, when set (simcheck mode), cross-checks every decode-cache
 	// hit against a fresh mapping computation and panics on any stale
@@ -145,31 +146,33 @@ const (
 	decodeMask = decodeSize - 1
 )
 
-// decodeEntry caches one physical address translation.
-type decodeEntry struct {
-	pa   uint64
-	row  int64
-	bank int32
-	ok   bool
+// DecodeEntry caches one physical address translation. Exported so the
+// compiled-payload executor (via Hot.Decode) can run the hit check
+// inline; only the controller mutates entries.
+type DecodeEntry struct {
+	PA   uint64
+	Row  int64
+	Bank int32
+	OK   bool
 }
 
 // decodeAddr resolves pa to (bank, row) through the cache.
 func (c *Controller) decodeAddr(pa uint64) (int, int64) {
 	e := &c.decode[((pa>>6)^(pa>>18))&decodeMask]
-	if e.ok && e.pa == pa {
+	if e.OK && e.PA == pa {
 		c.stats.DecodeHits++
 		if c.audit {
-			if bank, row := c.Map.Bank(pa), int64(c.Map.Row(pa)); int32(bank) != e.bank || row != e.row {
+			if bank, row := c.Map.Bank(pa), int64(c.Map.Row(pa)); int32(bank) != e.Bank || row != e.Row {
 				panic(fmt.Sprintf("memctrl: audit: decode cache for pa=%#x holds (bank=%d,row=%d), mapping says (bank=%d,row=%d)",
-					pa, e.bank, e.row, bank, row))
+					pa, e.Bank, e.Row, bank, row))
 			}
 		}
-		return int(e.bank), e.row
+		return int(e.Bank), e.Row
 	}
 	c.stats.DecodeMisses++
 	bank := c.Map.Bank(pa)
 	row := int64(c.Map.Row(pa))
-	*e = decodeEntry{pa: pa, row: row, bank: int32(bank), ok: true}
+	*e = DecodeEntry{PA: pa, Row: row, Bank: int32(bank), OK: true}
 	return bank, row
 }
 
@@ -182,16 +185,14 @@ func New(a *arch.Arch, m *mapping.Mapping, dev *dram.Device) *Controller {
 	}
 	c := &Controller{
 		Arch: a, Map: m, Dev: dev,
-		T:        DeriveTimings(min(a.MemFreqMHz, dev.DIMM.FreqMHz)),
-		openRow:  make([]int64, m.Banks()),
-		lastACT:  make([]float64, m.Banks()),
-		busyUnit: make([]float64, m.Banks()),
-		nextREF:  dram.TREFIns,
-		decode:   make([]decodeEntry, decodeSize),
+		T:       DeriveTimings(min(a.MemFreqMHz, dev.DIMM.FreqMHz)),
+		banks:   make([]BankState, m.Banks()),
+		nextREF: dram.TREFIns,
+		decode:  make([]DecodeEntry, decodeSize),
 	}
-	for i := range c.openRow {
-		c.openRow[i] = -1
-		c.lastACT[i] = math.Inf(-1)
+	for i := range c.banks {
+		c.banks[i].OpenRow = -1
+		c.banks[i].LastACT = math.Inf(-1)
 	}
 	return c
 }
@@ -211,11 +212,11 @@ func (c *Controller) advanceRefresh(now float64) {
 		c.Dev.Refresh(t)
 		c.Trace.record(Cmd{Kind: CmdREF, At: t})
 		c.stats.Refreshes++
-		for b := range c.busyUnit {
-			if c.busyUnit[b] < t+c.T.TRFC {
-				c.busyUnit[b] = t + c.T.TRFC
+		for b := range c.banks {
+			if c.banks[b].BusyUnit < t+c.T.TRFC {
+				c.banks[b].BusyUnit = t + c.T.TRFC
 			}
-			c.openRow[b] = -1
+			c.banks[b].OpenRow = -1
 		}
 		c.nextREF += dram.TREFIns
 	}
@@ -228,46 +229,47 @@ func (c *Controller) Access(pa uint64, at float64) (complete float64, kind Acces
 	c.advanceRefresh(at)
 	bank, row := c.decodeAddr(pa)
 
+	b := &c.banks[bank]
 	start := at
-	if c.busyUnit[bank] > start {
-		start = c.busyUnit[bank]
+	if b.BusyUnit > start {
+		start = b.BusyUnit
 	}
 
 	c.stats.Accesses++
 	switch {
-	case c.openRow[bank] == row:
+	case b.OpenRow == row:
 		kind = KindRowHit
 		c.stats.RowHits++
 		complete = start + c.T.TCL
-		c.busyUnit[bank] = start + c.T.TBus
-	case c.openRow[bank] == -1:
+		b.BusyUnit = start + c.T.TBus
+	case b.OpenRow == -1:
 		kind = KindRowEmpty
 		c.stats.RowEmpty++
 		actAt := start
-		if tMin := c.lastACT[bank] + c.T.TRC; actAt < tMin {
+		if tMin := b.LastACT + c.T.TRC; actAt < tMin {
 			actAt = tMin
 		}
 		c.Trace.record(Cmd{Kind: CmdACT, Bank: bank, Row: uint64(row), At: actAt})
 		c.Dev.Activate(bank, uint64(row), actAt)
-		c.lastACT[bank] = actAt
-		c.openRow[bank] = row
+		b.LastACT = actAt
+		b.OpenRow = row
 		complete = actAt + c.T.TRCD + c.T.TCL
-		c.busyUnit[bank] = actAt + c.T.TRCD + c.T.TBus
+		b.BusyUnit = actAt + c.T.TRCD + c.T.TBus
 	default:
 		kind = KindRowConflict
 		c.stats.Conflicts++
 		preAt := start
 		actAt := preAt + c.T.TRP
-		if tMin := c.lastACT[bank] + c.T.TRC; actAt < tMin {
+		if tMin := b.LastACT + c.T.TRC; actAt < tMin {
 			actAt = tMin
 		}
 		c.Trace.record(Cmd{Kind: CmdPRE, Bank: bank, At: preAt})
 		c.Trace.record(Cmd{Kind: CmdACT, Bank: bank, Row: uint64(row), At: actAt})
 		c.Dev.Activate(bank, uint64(row), actAt)
-		c.lastACT[bank] = actAt
-		c.openRow[bank] = row
+		b.LastACT = actAt
+		b.OpenRow = row
 		complete = actAt + c.T.TRCD + c.T.TCL
-		c.busyUnit[bank] = actAt + c.T.TRCD + c.T.TBus
+		b.BusyUnit = actAt + c.T.TRCD + c.T.TBus
 	}
 	return complete + c.T.TCtrl, kind
 }
@@ -276,7 +278,7 @@ func (c *Controller) Access(pa uint64, at float64) (complete float64, kind Acces
 // issuing it. Used by diagnostics only.
 func (c *Controller) Classify(pa uint64) AccessKind {
 	bank, row := c.decodeAddr(pa)
-	switch c.openRow[bank] {
+	switch c.banks[bank].OpenRow {
 	case row:
 		return KindRowHit
 	case -1:
@@ -288,18 +290,16 @@ func (c *Controller) Classify(pa uint64) AccessKind {
 
 // CloseAll precharges every bank (e.g. between timing measurements).
 func (c *Controller) CloseAll() {
-	for i := range c.openRow {
-		c.openRow[i] = -1
+	for i := range c.banks {
+		c.banks[i].OpenRow = -1
 	}
 }
 
 // Reset restores the controller to its initial state (banks closed,
 // clocks rewound, statistics cleared). The attached device is untouched.
 func (c *Controller) Reset() {
-	for i := range c.openRow {
-		c.openRow[i] = -1
-		c.lastACT[i] = math.Inf(-1)
-		c.busyUnit[i] = 0
+	for i := range c.banks {
+		c.banks[i] = BankState{OpenRow: -1, LastACT: math.Inf(-1)}
 	}
 	c.nextREF = dram.TREFIns
 	c.stats = Stats{}

@@ -203,6 +203,14 @@ var (
 	HammerProgHits   = Default.Counter("rhohammer_hammer_program_cache_hits_total")
 	HammerTunes      = Default.Counter("rhohammer_hammer_tune_runs_total")
 
+	// Compiled-payload path (internal/cpu payload executor): schedule
+	// compilations, session payload-cache outcomes, and activation
+	// batches handed to the DRAM device.
+	HammerPayloadCompiles = Default.Counter("rhohammer_hammer_payload_compile_total")
+	HammerPayloadHits     = Default.Counter("rhohammer_hammer_payload_cache_hit_total")
+	HammerPayloadMiss     = Default.Counter("rhohammer_hammer_payload_cache_miss_total")
+	HammerPayloadBatches  = Default.Counter("rhohammer_hammer_payload_exec_batch_total")
+
 	CampaignCells    = Default.Counter("rhohammer_campaign_cells_total")
 	CampaignFailures = Default.Counter("rhohammer_campaign_cell_failures_total")
 	CampaignRetries  = Default.Counter("rhohammer_campaign_cell_retries_total")

@@ -71,11 +71,20 @@ func (f *Fuzzer) Next() *Pattern {
 	// adjacent to the pairs' victims.
 	decoyBase := p.MaxOffset * 3 / 4
 
+	// One backing array serves every tuple's offsets and the tuple
+	// slice is sized for the worst case up front; the fuzzing campaigns
+	// draw hundreds of thousands of candidates, so per-tuple
+	// mini-allocations add up. Neither preallocation consumes a random
+	// draw, so the generated stream is unchanged.
 	nDecoys := p.MinDecoys + r.Intn(p.MaxDecoys-p.MinDecoys+1)
+	pat.Tuples = make([]Tuple, 0, nDecoys+p.MaxPairs)
+	offs := make([]int, 0, nDecoys+2*p.MaxPairs)
 	for i := 0; i < nDecoys; i++ {
 		freq := pat.Slots/8 + r.Intn(pat.Slots/4) // intense: 1/8 .. 3/8 of slots
+		lo := len(offs)
+		offs = append(offs, decoyBase+i*4+r.Intn(3))
 		pat.Tuples = append(pat.Tuples, Tuple{
-			Offsets:   []int{decoyBase + i*4 + r.Intn(3)},
+			Offsets:   offs[lo:len(offs):len(offs)],
 			Freq:      freq,
 			Phase:     r.Intn(4),
 			Amplitude: 1,
@@ -90,8 +99,10 @@ func (f *Fuzzer) Next() *Pattern {
 		if r.Float64() < 0.3 {
 			amp = 2 + r.Intn(p.MaxAmplitude-1)
 		}
+		lo := len(offs)
+		offs = append(offs, base, base+2)
 		pat.Tuples = append(pat.Tuples, Tuple{
-			Offsets:   []int{base, base + 2},
+			Offsets:   offs[lo:len(offs):len(offs)],
 			Freq:      freq,
 			Phase:     r.Intn(pat.Slots / 4),
 			Amplitude: amp,

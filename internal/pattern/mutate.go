@@ -58,13 +58,28 @@ func Mutate(p *Pattern, r *stats.Rand) *Pattern {
 	return out
 }
 
-// clone deep-copies a pattern.
+// clone deep-copies a pattern. All offset slices share one backing
+// array (sliced with full-slice expressions, so appends cannot bleed
+// between tuples): mutation-heavy refinement loops clone once per
+// candidate, and the per-tuple mini-allocations showed up in the
+// fuzzing campaign's heap profile.
 func clone(p *Pattern) *Pattern {
-	out := &Pattern{ID: p.ID, Slots: p.Slots}
+	out := &Pattern{
+		ID:     p.ID,
+		Slots:  p.Slots,
+		Tuples: make([]Tuple, len(p.Tuples)),
+	}
+	nOff := 0
 	for _, t := range p.Tuples {
+		nOff += len(t.Offsets)
+	}
+	backing := make([]int, 0, nOff)
+	for i, t := range p.Tuples {
+		lo := len(backing)
+		backing = append(backing, t.Offsets...)
 		nt := t
-		nt.Offsets = append([]int(nil), t.Offsets...)
-		out.Tuples = append(out.Tuples, nt)
+		nt.Offsets = backing[lo:len(backing):len(backing)]
+		out.Tuples[i] = nt
 	}
 	return out
 }

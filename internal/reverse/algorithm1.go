@@ -36,8 +36,8 @@ func Recover(m *timing.Measurer, pool *mem.Pool, opt Options) Result {
 
 	// Step 0b: classify pure row bits. A single-bit difference that
 	// times slow keeps the bank and changes the row: a pure row bit.
-	var pureRow []uint
-	var nonPureRow []uint
+	pureRow := make([]uint, 0, opt.MaxBit-opt.MinBit+1)
+	nonPureRow := make([]uint, 0, opt.MaxBit-opt.MinBit+1)
 	for b := opt.MinBit; b <= opt.MaxBit; b++ {
 		slow, ok := ms.sbdr(maskOf(b))
 		if !ok {

@@ -155,7 +155,7 @@ func RecoverDRAMA(m *timing.Measurer, pool *mem.Pool, opt Options) Result {
 	res.Threshold = ms.calibrate()
 
 	clusters := bruteForceCluster(ms, 640, 1<<hugepageBits)
-	var candidates []uint
+	candidates := make([]uint, 0, hugepageBits-opt.MinBit)
 	for b := opt.MinBit; b < hugepageBits; b++ {
 		candidates = append(candidates, b)
 	}
@@ -193,7 +193,7 @@ func RecoverDRAMDig(m *timing.Measurer, pool *mem.Pool, opt Options) Result {
 
 	// Phase 1: identify pure row bits via single-bit probes.
 	rowBits := map[uint]bool{}
-	var nonPure []uint
+	nonPure := make([]uint, 0, opt.MaxBit-opt.MinBit+1)
 	for b := opt.MinBit; b <= opt.MaxBit; b++ {
 		slow, ok := ms.sbdr(maskOf(b))
 		if !ok {
@@ -271,7 +271,7 @@ func RecoverDARE(m *timing.Measurer, pool *mem.Pool, opt Options) Result {
 	res.Threshold = ms.calibrate()
 
 	clusters := bruteForceCluster(ms, 288, 1<<superpageBits)
-	var candidates []uint
+	candidates := make([]uint, 0, superpageBits-opt.MinBit)
 	for b := opt.MinBit; b < superpageBits; b++ {
 		candidates = append(candidates, b)
 	}
