@@ -10,14 +10,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The experiments package alone runs for many minutes (campaign grids
+# plus golden renders); the explicit -timeout keeps a noisy shared CI
+# host from tripping go test's 10m per-package default.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 20m ./...
 
 # The race detector runs across the whole tree; -short skips the
 # multi-minute campaign tests and trims the differential-oracle trace
 # count so the check stays within a few minutes.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 20m ./...
 
 # determinism proves the campaign contract under the race detector:
 # rendered experiment bytes are identical at 1 and 8 workers, and the
@@ -44,6 +47,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialTrace$$' -fuzztime $(FUZZTIME) ./internal/refmodel
 	$(GO) test -run '^$$' -fuzz '^FuzzTRRSampler$$' -fuzztime $(FUZZTIME) ./internal/dram
 	$(GO) test -run '^$$' -fuzz '^FuzzPTRRTable$$' -fuzztime $(FUZZTIME) ./internal/dram
+	$(GO) test -run '^$$' -fuzz '^FuzzChainPlan$$' -fuzztime $(FUZZTIME) ./internal/chain
 
 # bench regenerates the machine-readable benchmark snapshot
 # (BENCH_<date>.json); see cmd/bench for flags.

@@ -5,7 +5,7 @@
 //
 //	serverd [-addr :8077] [-shards N] [-queue N] [-retain N]
 //	        [-retry-after D] [-manifest-dir DIR] [-seed N]
-//	        [-drain-timeout D]
+//	        [-drain-timeout D] [-cache N]
 //
 // Jobs are admitted with POST /v1/jobs (a registered spec name or an
 // inline cell grid), execute on a pool of -shards concurrent campaign
@@ -47,6 +47,7 @@ func main() {
 	manifestDir := flag.String("manifest-dir", "", "write one obs manifest per finished job into this directory")
 	seed := flag.Int64("seed", 42, "default seed for jobs that do not specify one")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before cancelling them")
+	cacheSize := flag.Int("cache", 64, "completed results cached per (spec, seed, scale) for instant resubmission; 0 disables")
 	flag.Parse()
 
 	// Counter aggregation is always on in the serving process — the
@@ -54,6 +55,9 @@ func main() {
 	// perturbs results (TestObsDoesNotPerturbResults).
 	obs.SetEnabled(true)
 
+	if *cacheSize <= 0 {
+		*cacheSize = -1 // Config treats 0 as "default"; the flag's 0 means off
+	}
 	srv, err := serve.New(serve.Config{
 		Registry:    experiments.Registry,
 		Shards:      *shards,
@@ -62,6 +66,7 @@ func main() {
 		RetryAfter:  *retryAfter,
 		ManifestDir: *manifestDir,
 		DefaultSeed: *seed,
+		CacheSize:   *cacheSize,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -20,10 +20,12 @@ import (
 
 // TestServeSmoke is the `make servesmoke` harness: it builds the real
 // serverd binary, boots it on a free port, drives one short campaign
-// job over HTTP, diffs the served result against the golden canonical
-// envelope (computed in-process through the exact CLI code path), then
-// SIGTERM-drains the server with a second job still in flight and
-// requires a clean exit with both job manifests on disk.
+// job plus one attack-chain grid job over HTTP, diffs each served
+// result against the golden canonical envelope (computed in-process
+// through the exact CLI code path), resubmits the chain job to prove
+// the result cache answers repeat keys, then SIGTERM-drains the server
+// with a job still in flight and requires a clean exit with the job
+// manifests on disk.
 //
 // It only runs under RHOHAMMER_SERVESMOKE=1 so `go test ./...` stays
 // fast; artifacts (result, metrics, manifests) land in SERVESMOKE_OUT
@@ -117,9 +119,56 @@ func TestServeSmoke(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(artifacts, "result.json"), result, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// One attack-chain grid job: the 2x2x2 allocator x hammerer x victim
+	// campaign served through the same binary, golden-diffed against the
+	// in-process CLI envelope, then resubmitted to prove the result cache
+	// answers repeat (spec, seed, scale) keys without re-running.
+	const chainSpec, chainScale = "chain", 0.2
+	chainBody := fmt.Sprintf(`{"spec":%q,"seed":%d,"scale":%v,"parallel":%d}`, chainSpec, seed, chainScale, parallel)
+	chainJob := submitJob(t, base, chainBody)
+	waitDone(t, base, chainJob, 120*time.Second)
+	code, chainResult := httpGet(t, base+"/v1/jobs/"+chainJob+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("GET chain result = %d: %s", code, chainResult)
+	}
+	chainCfg := experiments.Config{Seed: seed, Scale: chainScale, Workers: parallel}
+	chainRes, chainOut, err := experiments.RunOutcome(chainSpec, chainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chainWant bytes.Buffer
+	if err := experiments.WriteCanonicalOutcomeJSON(&chainWant, chainSpec, chainCfg, chainRes, chainOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chainResult, chainWant.Bytes()) {
+		t.Errorf("served chain envelope diverges from golden CLI envelope\n got: %s\nwant: %s", chainResult, chainWant.Bytes())
+	}
+	if err := os.WriteFile(filepath.Join(artifacts, "chain-result.json"), chainResult, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cachedJob := submitJob(t, base, chainBody)
+	codeSt, cachedSt := httpGet(t, base+"/v1/jobs/"+cachedJob)
+	var cached struct {
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(cachedSt, &cached); err != nil {
+		t.Fatalf("bad status body %s: %v", cachedSt, err)
+	}
+	if codeSt != http.StatusOK || cached.State != "done" || !cached.Cached {
+		t.Errorf("resubmitted chain job not served from cache (%d): %s", codeSt, cachedSt)
+	}
+	code, cachedResult := httpGet(t, base+"/v1/jobs/"+cachedJob+"/result")
+	if code != http.StatusOK || !bytes.Equal(cachedResult, chainResult) {
+		t.Errorf("cached chain result (%d) differs from the original", code)
+	}
+
 	code, metrics := httpGet(t, base+"/metrics")
 	if code != http.StatusOK || !bytes.Contains(metrics, []byte("rhohammer_serve_jobs_completed_total")) {
 		t.Errorf("metrics = %d, missing serve counters:\n%s", code, metrics)
+	}
+	if !bytes.Contains(metrics, []byte("rhohammer_serve_result_cache_hits_total 1")) {
+		t.Errorf("metrics missing the cache hit:\n%s", metrics)
 	}
 	if err := os.WriteFile(filepath.Join(artifacts, "metrics.txt"), metrics, 0o644); err != nil {
 		t.Fatal(err)

@@ -2,7 +2,8 @@
 // paper's Fig. 5 lays it out — reverse-engineer the mapping, tune the
 // counter-speculation pseudo-barrier, fuzz for TRR-bypassing patterns,
 // refine the campaign winner, sweep it across physical locations, and
-// finally run the PTE-corruption exploit.
+// finally run the PTE-corruption attack as a composed chain plan
+// (buddy allocator → ρHammer hammerer → pte victim).
 package main
 
 import (
@@ -66,13 +67,14 @@ func main() {
 	fmt.Printf("[5] sweep: %d flips over 12 locations (%.0f flips/min simulated)\n",
 		sw.TotalFlips, sw.FlipsPerMinute())
 
-	// ⑥ End-to-end exploitation.
-	ex, err := atk.Exploit(rhohammer.ExploitOptions{Regions: 10})
+	// ⑥ End-to-end exploitation, composed from chain stages.
+	plan := rhohammer.ChainPlan{Allocator: "buddy", Hammerer: "rho", Victim: "pte", Regions: 10}
+	ex, err := atk.Chain(plan)
 	if err != nil {
 		log.Fatalf("step 6 failed: %v", err)
 	}
-	fmt.Printf("[6] exploit: %d templated flips, %d exploitable, PTE %#x corrupted\n",
-		ex.TotalFlips, len(ex.Exploitable), ex.VictimPTEAddr)
+	fmt.Printf("[6] chain %s: %d templated flips, %d exploitable, PTE %#x corrupted\n",
+		plan.Key(), ex.TotalFlips, len(ex.Targets), ex.Addr)
 	fmt.Printf("\npage-table read/write achieved in %.1f simulated seconds end-to-end\n",
-		ex.TotalTimeNS()/1e9)
+		ex.Phases.TotalNS()/1e9)
 }

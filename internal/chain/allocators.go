@@ -1,0 +1,67 @@
+package chain
+
+import (
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/mem"
+)
+
+// Modeled allocation costs, simulated nanoseconds per region.
+const (
+	// drainCostPerRegionNS is the buddy-exhaustion cost: allocating
+	// everything below the maximum order so fresh order-10 splits are
+	// forced, per obtained region (unchanged from the historical
+	// exploit path).
+	drainCostPerRegionNS = 0.9e9
+	// hugeFaultCostPerRegionNS is the THP cost: faulting an anonymous
+	// 2 MiB mapping and letting khugepaged back it with a huge page —
+	// orders of magnitude cheaper than draining, the reason THP-enabled
+	// systems are the softer target.
+	hugeFaultCostPerRegionNS = 0.02e9
+)
+
+// BuddyAllocator performs the paper's allocator-exhaustion maneuver:
+// drain every order below the maximum so subsequent allocations must
+// come from freshly split order-10 blocks, then grab n contiguous
+// 4 MiB regions.
+type BuddyAllocator struct{}
+
+// Name implements Allocator.
+func (BuddyAllocator) Name() string { return "buddy" }
+
+// Allocate implements Allocator.
+func (BuddyAllocator) Allocate(s *hammer.Session, n int) (Allocation, error) {
+	b := mem.NewBuddy(s.Map.Size(), s.Rand)
+	bases, err := b.DrainToContiguous(n)
+	if err != nil {
+		return Allocation{}, err
+	}
+	out := Allocation{TimeNS: float64(len(bases)) * drainCostPerRegionNS}
+	for _, base := range bases {
+		out.Regions = append(out.Regions, Region{Base: base, Bytes: mem.BlockBytes(mem.MaxOrder)})
+	}
+	return out, nil
+}
+
+// THPAllocator obtains 2 MiB huge-page regions the transparent-huge-page
+// way: no draining, just anonymous mappings the kernel backs with
+// HugeOrder blocks. Cheaper and stealthier than exhaustion, but each
+// region's row window is half as tall, so hammerers must bring a
+// pattern that fits (see HugePattern).
+type THPAllocator struct{}
+
+// Name implements Allocator.
+func (THPAllocator) Name() string { return "thp" }
+
+// Allocate implements Allocator.
+func (THPAllocator) Allocate(s *hammer.Session, n int) (Allocation, error) {
+	b := mem.NewBuddy(s.Map.Size(), s.Rand)
+	bases, err := b.AllocHugePages(n)
+	if err != nil {
+		return Allocation{}, err
+	}
+	out := Allocation{TimeNS: float64(len(bases)) * hugeFaultCostPerRegionNS}
+	for _, base := range bases {
+		out.Regions = append(out.Regions, Region{Base: base, Bytes: mem.BlockBytes(mem.HugeOrder)})
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package chain_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/chain"
+	"rhohammer/internal/hammer"
+)
+
+func session(t *testing.T, a *arch.Arch, dimm string, seed int64) *hammer.Session {
+	t.Helper()
+	d, ok := arch.DIMMByID(dimm)
+	if !ok {
+		t.Fatalf("unknown DIMM %q", dimm)
+	}
+	s, err := hammer.NewSession(a, d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPlanDefaultsAndKey(t *testing.T) {
+	if got := (chain.Plan{}).Key(); got != "buddy-rho-pte" {
+		t.Errorf("zero plan key = %q, want buddy-rho-pte", got)
+	}
+	if got := (chain.Plan{Allocator: "thp", Hammerer: "load", Victim: "key"}).Key(); got != "thp-load-key" {
+		t.Errorf("key = %q, want thp-load-key", got)
+	}
+	if len(chain.Allocators()) != 2 || len(chain.Hammerers()) != 2 || len(chain.Victims()) != 2 {
+		t.Errorf("stage listings %v/%v/%v: want 2 of each",
+			chain.Allocators(), chain.Hammerers(), chain.Victims())
+	}
+}
+
+func TestBuildRejectsUnknownStages(t *testing.T) {
+	a := arch.RaptorLake()
+	for _, p := range []chain.Plan{
+		{Allocator: "slab"},
+		{Hammerer: "clflush"},
+		{Victim: "sudoers"},
+	} {
+		if _, err := p.Build(a); err == nil {
+			t.Errorf("Build(%+v) accepted an unknown stage", p)
+		}
+	}
+	for _, al := range chain.Allocators() {
+		for _, h := range chain.Hammerers() {
+			for _, v := range chain.Victims() {
+				p := chain.Plan{Allocator: al, Hammerer: h, Victim: v}
+				if _, err := p.Build(a); err != nil {
+					t.Errorf("Build(%s): %v", p.Key(), err)
+				}
+			}
+		}
+	}
+}
+
+// TestAllocatorExhaustion drives both allocators past the map's
+// capacity: the chain must fail in the allocation phase with a typed
+// AllocError and report zero regions.
+func TestAllocatorExhaustion(t *testing.T) {
+	for _, al := range chain.Allocators() {
+		s := session(t, arch.RaptorLake(), "S3", 1)
+		p := chain.Plan{Allocator: al, Regions: 1 << 20}
+		res, err := p.Run(s)
+		var ae *chain.AllocError
+		if !errors.As(err, &ae) {
+			t.Fatalf("%s with 2^20 regions: err = %v, want AllocError", al, err)
+		}
+		if res.Regions != 0 || res.TotalFlips != 0 {
+			t.Errorf("%s: partial result after alloc failure: %+v", al, res)
+		}
+	}
+}
+
+// TestNoUsableFlips covers the two flavors of NoTargetsError: a module
+// that never flips (M1, zero templated flips), and templating that does
+// flip paired with a victim that can use none of them.
+func TestNoUsableFlips(t *testing.T) {
+	s := session(t, arch.RaptorLake(), "M1", 42)
+	res, err := (chain.Plan{Regions: 6, DurationPerLocationNS: 1e8}).Run(s)
+	var nt *chain.NoTargetsError
+	if !errors.As(err, &nt) {
+		t.Fatalf("M1 chain: err = %v, want NoTargetsError", err)
+	}
+	if nt.TotalFlips != 0 || res.TotalFlips != 0 {
+		t.Errorf("M1 templating flipped %d/%d bits, want 0", nt.TotalFlips, res.TotalFlips)
+	}
+
+	s = session(t, arch.RaptorLake(), "S3", 42)
+	eng := chain.Engine{
+		Allocator: chain.BuddyAllocator{},
+		Hammerer:  &chain.PatternHammerer{Label: "rho", Pattern: chain.CompactPattern(), Config: hammer.RecommendedSingleBank(s.Arch)},
+		Victim:    pickyVictim{},
+	}
+	res, err = eng.Run(s, chain.RunOptions{Regions: 6, DurationPerLocationNS: 1e8})
+	if !errors.As(err, &nt) {
+		t.Fatalf("picky victim: err = %v, want NoTargetsError", err)
+	}
+	if nt.TotalFlips == 0 || res.TotalFlips == 0 {
+		t.Error("picky-victim case found no flips at all; the test wants flips the victim rejects")
+	}
+}
+
+// TestExhaustedTargets uses a victim whose attempts always fail: the
+// chain must try every target and return ExhaustedError.
+func TestExhaustedTargets(t *testing.T) {
+	s := session(t, arch.RaptorLake(), "S3", 42)
+	eng := chain.Engine{
+		Allocator: chain.BuddyAllocator{},
+		Hammerer:  &chain.PatternHammerer{Label: "rho", Pattern: chain.CompactPattern(), Config: hammer.RecommendedSingleBank(s.Arch)},
+		Victim:    hopelessVictim{},
+	}
+	res, err := eng.Run(s, chain.RunOptions{Regions: 6, DurationPerLocationNS: 1e8})
+	var ex *chain.ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want ExhaustedError", err)
+	}
+	if res.Attempts != len(res.Targets) || ex.Attempts != res.Attempts {
+		t.Errorf("attempts %d (err says %d), want one per target (%d)",
+			res.Attempts, ex.Attempts, len(res.Targets))
+	}
+	if res.Success {
+		t.Error("success flag set after exhaustion")
+	}
+}
+
+// TestRetriggerErrorAborts uses a victim whose re-trigger machinery
+// fails hard: the chain must abort with a typed RetriggerError that
+// unwraps to the cause.
+func TestRetriggerErrorAborts(t *testing.T) {
+	s := session(t, arch.RaptorLake(), "S3", 42)
+	cause := errors.New("device wedged")
+	eng := chain.Engine{
+		Allocator: chain.BuddyAllocator{},
+		Hammerer:  &chain.PatternHammerer{Label: "rho", Pattern: chain.CompactPattern(), Config: hammer.RecommendedSingleBank(s.Arch)},
+		Victim:    brokenVictim{cause: cause},
+	}
+	res, err := eng.Run(s, chain.RunOptions{Regions: 6, DurationPerLocationNS: 1e8})
+	var re *chain.RetriggerError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RetriggerError", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("RetriggerError does not unwrap to the cause: %v", err)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("chain kept going after a re-trigger failure: %d attempts", res.Attempts)
+	}
+}
+
+// TestCompactPatternSkippedOnTHP pins the window guard: the 14-row
+// compact pattern cannot fit a 2 MiB region's 8-row window, so every
+// THP region must be Skipped rather than hammered out of bounds.
+func TestCompactPatternSkippedOnTHP(t *testing.T) {
+	s := session(t, arch.RaptorLake(), "S3", 42)
+	eng := chain.Engine{
+		Allocator: chain.THPAllocator{},
+		Hammerer:  &chain.PatternHammerer{Label: "rho", Pattern: chain.CompactPattern(), Config: hammer.RecommendedSingleBank(s.Arch)},
+		Victim:    chain.PTEVictim{},
+	}
+	res, err := eng.Run(s, chain.RunOptions{Regions: 6, DurationPerLocationNS: 1e8})
+	var nt *chain.NoTargetsError
+	if !errors.As(err, &nt) {
+		t.Fatalf("err = %v, want NoTargetsError (all regions skipped)", err)
+	}
+	if res.Skipped != res.Regions || res.TotalFlips != 0 {
+		t.Errorf("skipped %d of %d regions with %d flips; want all skipped, none hammered",
+			res.Skipped, res.Regions, res.TotalFlips)
+	}
+}
+
+// TestHugePatternFitsTHPWindow pins the pattern/allocator pairing: the
+// huge pattern's footprint (aggressors at MaxOffset, victims two rows
+// above) must fit the 8-row window of a 2 MiB region.
+func TestHugePatternFitsTHPWindow(t *testing.T) {
+	for _, p := range []struct {
+		name   string
+		pat    interface{ MaxOffset() int }
+		window int
+	}{
+		{"huge", chain.HugePattern(), 8},
+		{"compact", chain.CompactPattern(), 16},
+	} {
+		if got := p.pat.MaxOffset() + 3; got > p.window {
+			t.Errorf("%s pattern needs %d rows, window is %d", p.name, got, p.window)
+		}
+	}
+	if err := chain.HugePattern().Validate(); err != nil {
+		t.Errorf("huge pattern invalid: %v", err)
+	}
+}
+
+// TestGridCompositionsSucceed runs the full 2x2x2 grid on the platform
+// the chain campaign uses for its rho cells: every ρHammer composition
+// must complete end to end (the load baseline is covered by the grid
+// golden, where it fails on the new architecture by design).
+func TestGridCompositionsSucceed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end chains")
+	}
+	for _, al := range chain.Allocators() {
+		for _, v := range chain.Victims() {
+			p := chain.Plan{Allocator: al, Hammerer: "rho", Victim: v, Regions: 8}
+			t.Run(p.Key(), func(t *testing.T) {
+				s := session(t, arch.RaptorLake(), "S3", 42)
+				res, err := p.Run(s)
+				if err != nil {
+					t.Fatalf("chain failed: %v (flips %d, targets %d)", err, res.TotalFlips, len(res.Targets))
+				}
+				if !res.Success || res.Frame == 0 {
+					t.Errorf("no success: %+v", res)
+				}
+				if res.Phases.TotalNS() <= 0 || res.Phases.AllocNS <= 0 {
+					t.Errorf("phase timings missing: %+v", res.Phases)
+				}
+			})
+		}
+	}
+}
+
+// TestPlanRunDeterminism pins the determinism contract at the plan
+// level: identical (platform, DIMM, seed, plan) must produce deeply
+// equal results in fresh sessions.
+func TestPlanRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end chains")
+	}
+	p := chain.Plan{Allocator: "thp", Hammerer: "rho", Victim: "key", Regions: 6, DurationPerLocationNS: 1e8}
+	a := session(t, arch.RaptorLake(), "S3", 7)
+	b := session(t, arch.RaptorLake(), "S3", 7)
+	ra, ea := p.Run(a)
+	rb, eb := p.Run(b)
+	if fmt.Sprint(ea) != fmt.Sprint(eb) {
+		t.Fatalf("errors differ: %v vs %v", ea, eb)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Errorf("results differ across identical sessions:\n%+v\n%+v", ra, rb)
+	}
+}
+
+// pickyVictim classifies nothing.
+type pickyVictim struct{}
+
+func (pickyVictim) Name() string                                            { return "picky" }
+func (pickyVictim) Classify(*hammer.Session, []chain.Flip) []chain.Target   { return nil }
+func (pickyVictim) Attempt(*hammer.Session, chain.Hammerer, chain.Target, float64) (chain.Attempt, error) {
+	return chain.Attempt{}, nil
+}
+
+// hopelessVictim targets every flip but never succeeds.
+type hopelessVictim struct{}
+
+func (hopelessVictim) Name() string { return "hopeless" }
+func (hopelessVictim) Classify(_ *hammer.Session, flips []chain.Flip) []chain.Target {
+	out := make([]chain.Target, len(flips))
+	for i, f := range flips {
+		out[i] = chain.Target{Flip: f}
+	}
+	return out
+}
+func (hopelessVictim) Attempt(*hammer.Session, chain.Hammerer, chain.Target, float64) (chain.Attempt, error) {
+	return chain.Attempt{TimeNS: 1}, nil
+}
+
+// brokenVictim fails its first re-trigger hard.
+type brokenVictim struct{ cause error }
+
+func (brokenVictim) Name() string { return "broken" }
+func (brokenVictim) Classify(_ *hammer.Session, flips []chain.Flip) []chain.Target {
+	out := make([]chain.Target, len(flips))
+	for i, f := range flips {
+		out[i] = chain.Target{Flip: f}
+	}
+	return out
+}
+func (v brokenVictim) Attempt(*hammer.Session, chain.Hammerer, chain.Target, float64) (chain.Attempt, error) {
+	return chain.Attempt{}, v.cause
+}

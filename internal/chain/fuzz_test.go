@@ -1,0 +1,78 @@
+package chain_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/chain"
+	"rhohammer/internal/hammer"
+)
+
+// FuzzChainPlan drives random plan compositions through the engine and
+// checks the structural invariants no composition may violate: stage
+// resolution either errors cleanly or the run terminates with a typed
+// outcome, phase timings and counters stay consistent, and identical
+// inputs replay to deeply equal results.
+func FuzzChainPlan(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), int64(42), uint8(2))
+	f.Add(uint8(1), uint8(1), uint8(1), int64(7), uint8(3))
+	f.Add(uint8(1), uint8(0), uint8(1), int64(1), uint8(1))
+	f.Add(uint8(2), uint8(2), uint8(2), int64(9), uint8(2)) // unknown stage names
+	f.Fuzz(func(t *testing.T, ai, hi, vi uint8, seed int64, regions uint8) {
+		// Index 2 selects a deliberately bogus stage name, so name
+		// resolution failures stay in the fuzzed surface.
+		allocs := append(chain.Allocators(), "bogus")
+		hams := append(chain.Hammerers(), "bogus")
+		vics := append(chain.Victims(), "bogus")
+		p := chain.Plan{
+			Allocator:             allocs[int(ai)%len(allocs)],
+			Hammerer:              hams[int(hi)%len(hams)],
+			Victim:                vics[int(vi)%len(vics)],
+			Regions:               int(regions)%3 + 1,
+			DurationPerLocationNS: 2e7,
+		}
+
+		run := func() (chain.Result, error) {
+			s, err := hammer.NewSession(arch.CometLake(), arch.DIMMS3(), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p.Run(s)
+		}
+		res, err := run()
+
+		if p.Allocator == "bogus" || p.Hammerer == "bogus" || p.Victim == "bogus" {
+			if err == nil {
+				t.Fatalf("plan %s resolved a bogus stage", p.Key())
+			}
+			return
+		}
+		if res.Regions != p.Regions {
+			t.Errorf("plan %s: %d regions allocated, want %d", p.Key(), res.Regions, p.Regions)
+		}
+		if res.Skipped > res.Regions {
+			t.Errorf("plan %s: skipped %d > %d regions", p.Key(), res.Skipped, res.Regions)
+		}
+		if res.Attempts > len(res.Targets) {
+			t.Errorf("plan %s: %d attempts over %d targets", p.Key(), res.Attempts, len(res.Targets))
+		}
+		if len(res.Targets) > res.TotalFlips {
+			t.Errorf("plan %s: %d targets from %d flips", p.Key(), len(res.Targets), res.TotalFlips)
+		}
+		if res.Phases.AllocNS < 0 || res.Phases.TemplateNS < 0 || res.Phases.VictimNS < 0 {
+			t.Errorf("plan %s: negative phase timing %+v", p.Key(), res.Phases)
+		}
+		if res.Success != (err == nil) {
+			t.Errorf("plan %s: success=%v with err=%v", p.Key(), res.Success, err)
+		}
+		if res.Success && res.Attempts == 0 {
+			t.Errorf("plan %s: success without attempts", p.Key())
+		}
+
+		res2, err2 := run()
+		if !reflect.DeepEqual(res, res2) || (err == nil) != (err2 == nil) {
+			t.Errorf("plan %s seed %d: replay diverged", p.Key(), seed)
+		}
+	})
+}

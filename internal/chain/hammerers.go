@@ -1,0 +1,100 @@
+package chain
+
+import (
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/pattern"
+)
+
+// CompactPattern returns the TRR-bypassing pattern whose row footprint
+// (14 rows) fits inside the 16-row per-bank window of a 4 MiB
+// contiguous region — the pattern the paper's §5.3 templating uses.
+func CompactPattern() *pattern.Pattern {
+	return &pattern.Pattern{
+		ID:    4,
+		Slots: 160,
+		Tuples: []pattern.Tuple{
+			{Offsets: []int{12}, Freq: 36, Phase: 0, Amplitude: 1},
+			{Offsets: []int{13}, Freq: 36, Phase: 2, Amplitude: 1},
+			{Offsets: []int{0, 2}, Freq: 12, Phase: 1, Amplitude: 1},
+			{Offsets: []int{4, 6}, Freq: 12, Phase: 5, Amplitude: 1},
+			{Offsets: []int{8, 10}, Freq: 12, Phase: 9, Amplitude: 1},
+		},
+	}
+}
+
+// HugePattern returns a TRR-bypassing pattern compressed into a 6-row
+// footprint (MaxOffset 5), so it fits the 8-row per-bank window of a
+// 2 MiB THP region: two high-frequency decoy rows keep the sampler
+// busy while two interleaved double-sided pairs do the damage.
+func HugePattern() *pattern.Pattern {
+	return &pattern.Pattern{
+		ID:    5,
+		Slots: 160,
+		Tuples: []pattern.Tuple{
+			{Offsets: []int{4}, Freq: 30, Phase: 0, Amplitude: 1},
+			{Offsets: []int{5}, Freq: 30, Phase: 2, Amplitude: 1},
+			{Offsets: []int{0, 2}, Freq: 12, Phase: 1, Amplitude: 1},
+			{Offsets: []int{1, 3}, Freq: 12, Phase: 5, Amplitude: 1},
+		},
+	}
+}
+
+// PatternHammerer templates regions by hammering one fixed pattern
+// under one fixed strategy — the shape both the ρHammer and the load
+// baseline hammerers share; they differ only in Config (and, via Plan,
+// in which pattern matches the allocator's region height).
+type PatternHammerer struct {
+	// Label is the hammerer's reporting name ("rho", "load").
+	Label string
+	// Pattern is the templating pattern; it must fit the region row
+	// window or Template reports Skipped.
+	Pattern *pattern.Pattern
+	// Config is the hammering strategy.
+	Config hammer.Config
+}
+
+// Name implements Hammerer.
+func (h *PatternHammerer) Name() string { return h.Label }
+
+// windowRows returns the number of consecutive rows a region spans in
+// each bank it touches (16 for 4 MiB regions, 8 for 2 MiB huge pages
+// on the evaluated 16 GiB mappings).
+func windowRows(s *hammer.Session, r Region) uint64 {
+	return r.Bytes * s.Map.Rows() / s.Map.Size()
+}
+
+// Template implements Hammerer: hammer the pattern at the region's row
+// window in the region's base bank. Regions whose window cannot hold
+// the pattern (aggressors at MaxOffset, victims two rows above) are
+// Skipped, as are windows butting against the top of the bank.
+func (h *PatternHammerer) Template(s *hammer.Session, r Region, durationNS float64) (Templating, error) {
+	baseRow := s.Map.Row(r.Base)
+	span := uint64(h.Pattern.MaxOffset() + 4)
+	if baseRow+span+2 >= s.Map.Rows() {
+		return Templating{Skipped: true}, nil
+	}
+	if uint64(h.Pattern.MaxOffset())+3 > windowRows(s, r) {
+		return Templating{Skipped: true}, nil
+	}
+	bank := s.Map.Bank(r.Base)
+	s.ResetDevice()
+	hr, err := s.HammerPatternFor(h.Pattern, h.Config, bank, baseRow, durationNS)
+	if err != nil {
+		return Templating{}, err
+	}
+	out := Templating{TimeNS: hr.TimeNS}
+	for _, f := range hr.Flips {
+		cf := Flip{Flip: f, HammerBank: bank, HammerBaseRow: baseRow, Region: r}
+		if pa, err := s.Map.PhysAddr(f.Bank, f.Row, uint64(f.ByteInRow)); err == nil {
+			cf.PhysAddr = pa
+		}
+		out.Flips = append(out.Flips, cf)
+	}
+	return out, nil
+}
+
+// Retrigger implements Hammerer.
+func (h *PatternHammerer) Retrigger(s *hammer.Session, bank int, baseRow uint64, durationNS float64) (hammer.Result, error) {
+	s.ResetDevice()
+	return s.HammerPatternFor(h.Pattern, h.Config, bank, baseRow, durationNS)
+}

@@ -1,0 +1,112 @@
+package chain
+
+import (
+	"fmt"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/hammer"
+)
+
+// Plan names a chain triple declaratively — the serializable form the
+// chain-grid campaign cells, cmd/exploit's selection flags and the
+// public facade all build engines from.
+type Plan struct {
+	// Allocator, Hammerer and Victim select the stage implementations by
+	// name (see Allocators, Hammerers, Victims). Empty fields default to
+	// the paper's §5.3 triple: buddy / rho / pte.
+	Allocator string
+	Hammerer  string
+	Victim    string
+	// Regions and DurationPerLocationNS bound the run (see RunOptions).
+	Regions               int
+	DurationPerLocationNS float64
+	// Nops overrides the ρHammer counter-speculation NOP count; zero
+	// means the platform-tuned value.
+	Nops int
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.Allocator == "" {
+		p.Allocator = "buddy"
+	}
+	if p.Hammerer == "" {
+		p.Hammerer = "rho"
+	}
+	if p.Victim == "" {
+		p.Victim = "pte"
+	}
+	return p
+}
+
+// Key returns the plan's canonical cell key, "allocator-hammerer-victim".
+func (p Plan) Key() string {
+	p = p.withDefaults()
+	return p.Allocator + "-" + p.Hammerer + "-" + p.Victim
+}
+
+// Allocators lists the selectable allocator names.
+func Allocators() []string { return []string{"buddy", "thp"} }
+
+// Hammerers lists the selectable hammerer names.
+func Hammerers() []string { return []string{"rho", "load"} }
+
+// Victims lists the selectable victim names.
+func Victims() []string { return []string{"pte", "key"} }
+
+// Build resolves the plan's names into a runnable Engine for the given
+// platform. The hammerer's pattern follows the allocator: buddy regions
+// get the 14-row CompactPattern, THP regions the 6-row HugePattern —
+// a pattern taller than the region's row window would only be Skipped.
+func (p Plan) Build(a *arch.Arch) (Engine, error) {
+	p = p.withDefaults()
+	var e Engine
+
+	switch p.Allocator {
+	case "buddy":
+		e.Allocator = BuddyAllocator{}
+	case "thp":
+		e.Allocator = THPAllocator{}
+	default:
+		return e, fmt.Errorf("chain: unknown allocator %q (have %v)", p.Allocator, Allocators())
+	}
+
+	pat := CompactPattern()
+	if p.Allocator == "thp" {
+		pat = HugePattern()
+	}
+	switch p.Hammerer {
+	case "rho":
+		cfg := hammer.RecommendedSingleBank(a)
+		if p.Nops > 0 {
+			cfg = hammer.RhoHammer(a, 1, p.Nops)
+		}
+		e.Hammerer = &PatternHammerer{Label: "rho", Pattern: pat, Config: cfg}
+	case "load":
+		e.Hammerer = &PatternHammerer{Label: "load", Pattern: pat, Config: hammer.Baseline()}
+	default:
+		return e, fmt.Errorf("chain: unknown hammerer %q (have %v)", p.Hammerer, Hammerers())
+	}
+
+	switch p.Victim {
+	case "pte":
+		e.Victim = PTEVictim{}
+	case "key":
+		e.Victim = KeyVictim{}
+	default:
+		return e, fmt.Errorf("chain: unknown victim %q (have %v)", p.Victim, Victims())
+	}
+	return e, nil
+}
+
+// Run builds the plan's engine for the session's platform and executes
+// it.
+func (p Plan) Run(s *hammer.Session) (Result, error) {
+	e, err := p.Build(s.Arch)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(s, RunOptions{
+		Regions:               p.Regions,
+		DurationPerLocationNS: p.DurationPerLocationNS,
+	})
+}

@@ -6,7 +6,7 @@ import (
 	"fmt"
 )
 
-// The golden contract: three pinned campaigns rendered at a fixed
+// The golden contract: the pinned campaigns rendered at a fixed
 // (seed, scale) must hash to known values. Any change to an RNG stream,
 // the simulation physics, or the rendering shows up here; speed and
 // structure changes do not. TestGoldenOutputs enforces the contract in
@@ -27,12 +27,17 @@ func GoldenConfig() Config { return Config{Seed: 42, Scale: 0.5} }
 // hashes, captured after the campaign-engine refactor introduced
 // per-cell seed derivation (stats.SplitSeed over "spec/cellKey"). That
 // derivation changed every RNG stream once, intentionally; from here on
-// the hashes again pin simulation results bit-for-bit.
+// the hashes again pin simulation results bit-for-bit. The chain
+// refactor added e2e (pinning the legacy exploit wrapper's output
+// byte-for-byte across the decomposition) and chain (pinning the
+// allocator x hammerer x victim grid).
 func Goldens() []Golden {
 	return []Golden{
 		{"table3", "2f84c61faa970673992c87c7caad8b41e80f626407b980ad17179b7bf495096e"},
 		{"table6", "7520fe96c3ca4f393ceeb276d3db98c402c830d4011c7e3347edef539380a1d3"},
 		{"fig9", "5c9d28b458cec9d43994d3300a47d00dcfe0a5e49707f1c32f4e7068897b63d2"},
+		{"e2e", "c7fcaa6323a0c9c57d56ce5e93a27a7a705c2ad9e6e64e0721ef6b9c9d4fcbd0"},
+		{"chain", "5071e8202b325c2452733047602cfa11ae2cb3da98837c49ba70d9bbd1d0d8a4"},
 	}
 }
 

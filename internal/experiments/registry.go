@@ -32,6 +32,7 @@ func init() {
 	register("table6", campaign.KindTable, "2-hour fuzzing matrix", table6Spec)
 	register("fig11", campaign.KindFigure, "cumulative flips over sweeping", fig11Spec)
 	register("e2e", campaign.KindAux, "end-to-end PTE corruption", e2eSpec)
+	register("chain", campaign.KindAux, "attack-chain grid: allocator x hammerer x victim", chainSpec)
 	register("mitigations", campaign.KindAux, "§6 mitigations vs rhoHammer", mitigationsSpec)
 	register("ablation-cs", campaign.KindAux, "counter-speculation ingredient ablation", ablationCSSpec)
 	register("ablation-sampler", campaign.KindAux, "TRR sampler capacity ablation", ablationSamplerSpec)

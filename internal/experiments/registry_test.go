@@ -14,7 +14,7 @@ import (
 var expectedCampaigns = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6",
 	"fig3", "fig4", "fig6", "fig8", "fig9", "fig10", "fig11",
-	"e2e", "mitigations", "ablation-cs", "ablation-sampler",
+	"e2e", "chain", "mitigations", "ablation-cs", "ablation-sampler",
 }
 
 func TestRegistryCoversEveryExperiment(t *testing.T) {
@@ -97,7 +97,7 @@ func TestRegistryResolvesEveryName(t *testing.T) {
 // cells.
 func TestCampaignWorkerDeterminism(t *testing.T) {
 	cfg := Config{Seed: 42, Scale: 0.1}
-	for _, name := range []string{"table3", "fig6"} {
+	for _, name := range []string{"table3", "fig6", "chain"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			serial := renderCampaign(t, name, cfg, 1)

@@ -13,6 +13,11 @@ import (
 // the paper's end-to-end attack relies on instead of superpages.
 const MaxOrder = 10
 
+// HugeOrder is the buddy order of a transparent huge page (order 9 =
+// 2 MiB): the contiguity THP hands an attacker for free, without the
+// allocator-exhaustion maneuver, on systems that leave THP enabled.
+const HugeOrder = 9
+
 // BlockBytes returns the size in bytes of a block of the given order.
 func BlockBytes(order int) uint64 { return PageSize << order }
 
@@ -132,6 +137,24 @@ func (b *Buddy) DrainToContiguous(n int) ([]uint64, error) {
 		base, err := b.Alloc(MaxOrder)
 		if err != nil {
 			return out, fmt.Errorf("mem: only %d of %d contiguous regions available: %w", i, n, err)
+		}
+		out = append(out, base)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// AllocHugePages models THP-style allocation: back n anonymous 2 MiB
+// mappings with huge pages, each a physically contiguous HugeOrder
+// block, without draining the allocator first. Placement is whatever
+// the (shuffled) free lists yield — the attacker gets contiguity but
+// not choice. Returns the base addresses, ascending.
+func (b *Buddy) AllocHugePages(n int) ([]uint64, error) {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		base, err := b.Alloc(HugeOrder)
+		if err != nil {
+			return out, fmt.Errorf("mem: only %d of %d huge pages available: %w", i, n, err)
 		}
 		out = append(out, base)
 	}

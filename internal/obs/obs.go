@@ -211,6 +211,19 @@ var (
 	HammerPayloadMiss     = Default.Counter("rhohammer_hammer_payload_cache_miss_total")
 	HammerPayloadBatches  = Default.Counter("rhohammer_hammer_payload_exec_batch_total")
 
+	// Chain pipeline (internal/chain engine): end-to-end attack runs,
+	// per-phase work items and simulated time. Flushed once per
+	// Engine.Run at the cold end of the pipeline.
+	ChainRuns          = Default.Counter("rhohammer_chain_runs_total")
+	ChainRegions       = Default.Counter("rhohammer_chain_regions_total")
+	ChainTemplateFlips = Default.Counter("rhohammer_chain_template_flips_total")
+	ChainTargets       = Default.Counter("rhohammer_chain_targets_total")
+	ChainAttempts      = Default.Counter("rhohammer_chain_attempts_total")
+	ChainSuccesses     = Default.Counter("rhohammer_chain_successes_total")
+	ChainAllocNS       = Default.Counter("rhohammer_chain_alloc_ns_total")
+	ChainTemplateNS    = Default.Counter("rhohammer_chain_template_ns_total")
+	ChainVictimNS      = Default.Counter("rhohammer_chain_victim_ns_total")
+
 	CampaignCells    = Default.Counter("rhohammer_campaign_cells_total")
 	CampaignFailures = Default.Counter("rhohammer_campaign_cell_failures_total")
 	CampaignRetries  = Default.Counter("rhohammer_campaign_cell_retries_total")

@@ -1,0 +1,58 @@
+package serve
+
+import "rhohammer/internal/obs"
+
+// Result-cache counters, exposed at /metrics next to the job counters.
+var (
+	cacheHits   = obs.Default.Counter("rhohammer_serve_result_cache_hits_total")
+	cacheMisses = obs.Default.Counter("rhohammer_serve_result_cache_misses_total")
+)
+
+// cacheKey identifies a completed result. Campaign outputs are pure
+// functions of (spec, seed, scale) — parallelism never changes result
+// bytes (pinned by the determinism tests) — so those three fields are
+// the whole key. Inline specs are never cached: their identity is the
+// request body, not a registry name.
+type cacheKey struct {
+	spec  string
+	seed  int64
+	scale float64
+}
+
+// cacheEntry holds both result envelopes of a completed job.
+type cacheEntry struct {
+	canon, timed []byte
+}
+
+// resultCache is a bounded FIFO map of completed result envelopes,
+// guarded by the owning Server's mutex. Resubmitting a completed
+// (spec, seed, scale) yields a job that is born done, serving the
+// cached bytes without re-running the campaign.
+type resultCache struct {
+	cap   int
+	m     map[cacheKey]cacheEntry
+	order []cacheKey // insertion order, for eviction
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, m: map[cacheKey]cacheEntry{}}
+}
+
+func (c *resultCache) get(k cacheKey) (cacheEntry, bool) {
+	e, ok := c.m[k]
+	return e, ok
+}
+
+func (c *resultCache) put(k cacheKey, e cacheEntry) {
+	if _, exists := c.m[k]; exists {
+		c.m[k] = e
+		return
+	}
+	c.m[k] = e
+	c.order = append(c.order, k)
+	for len(c.order) > c.cap {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, evict)
+	}
+}

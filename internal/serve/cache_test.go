@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// TestCacheHitServesIdenticalBytesInstantly pins the cache satellite's
+// contract: resubmitting a completed (spec, seed, scale) yields a job
+// that is born done, marked cached, and serves byte-identical result
+// envelopes — without consuming queue or shard capacity.
+func TestCacheHitServesIdenticalBytesInstantly(t *testing.T) {
+	_, ts := newTestServer(t, Config{Registry: tinyRegistry()})
+
+	first := submit(t, ts, `{"spec":"tiny","seed":7}`)
+	st := waitTerminal(t, ts, first)
+	if st.State != StateDone || st.Cached {
+		t.Fatalf("first run: state=%s cached=%v, want done/uncached", st.State, st.Cached)
+	}
+	_, want := fetch(t, ts.URL+"/v1/jobs/"+first+"/result")
+	_, wantTimed := fetch(t, ts.URL+"/v1/jobs/"+first+"/result?timings=1")
+
+	// The resubmission is already terminal in the accept response.
+	var acc jobAccepted
+	code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"spec":"tiny","seed":7,"parallel":3}`, &acc)
+	if code != http.StatusAccepted || acc.State != StateDone {
+		t.Fatalf("cached POST = %d state=%s, want 202/done", code, acc.State)
+	}
+	st = waitTerminal(t, ts, acc.ID)
+	if !st.Cached || st.State != StateDone {
+		t.Fatalf("cached job status: state=%s cached=%v", st.State, st.Cached)
+	}
+	_, got := fetch(t, ts.URL+"/v1/jobs/"+acc.ID+"/result")
+	if !bytes.Equal(got, want) {
+		t.Error("cached canonical envelope differs from the original")
+	}
+	_, gotTimed := fetch(t, ts.URL+"/v1/jobs/"+acc.ID+"/result?timings=1")
+	if !bytes.Equal(gotTimed, wantTimed) {
+		t.Error("cached timed envelope differs from the original")
+	}
+	_, manifest := fetch(t, ts.URL+"/v1/jobs/"+acc.ID+"/manifest")
+	if !bytes.Contains(manifest, []byte(`"cached"`)) {
+		t.Error("cached job manifest does not record the cache hit")
+	}
+
+	// Different seed and different scale are different keys.
+	for _, body := range []string{`{"spec":"tiny","seed":8}`, `{"spec":"tiny","seed":7,"scale":0.5}`} {
+		id := submit(t, ts, body)
+		if st := waitTerminal(t, ts, id); st.Cached {
+			t.Errorf("submission %s wrongly served from cache", body)
+		}
+	}
+}
+
+// TestCacheDisabledAndInlineBypass pins the two opt-outs: CacheSize<0
+// disables caching entirely, and inline specs never hit the cache even
+// when it is on.
+func TestCacheDisabledAndInlineBypass(t *testing.T) {
+	_, ts := newTestServer(t, Config{Registry: tinyRegistry(), CacheSize: -1})
+	for i := 0; i < 2; i++ {
+		id := submit(t, ts, `{"spec":"tiny","seed":7}`)
+		if st := waitTerminal(t, ts, id); st.Cached {
+			t.Fatal("cache hit with caching disabled")
+		}
+	}
+
+	if testing.Short() {
+		return // the inline jobs below hammer a real session
+	}
+	_, ts2 := newTestServer(t, Config{Registry: tinyRegistry()})
+	inline := `{"inline":{"name":"adhoc","cells":[
+		{"key":"x","arch":"Raptor Lake","dimm":"S3",
+		 "config":{"instr":"prefetcht2","banks":4,"barrier":"nop","nops":21,"obfuscate":true},
+		 "budget":{"patterns":1,"locations":1,"duration_ns":2e7}}]},"seed":7}`
+	// Inline submissions at the same (name, seed, scale) must re-run.
+	ids := []string{}
+	for i := 0; i < 2; i++ {
+		var acc jobAccepted
+		code, _ := doJSON(t, "POST", ts2.URL+"/v1/jobs", inline, &acc)
+		if code != http.StatusAccepted {
+			t.Fatalf("inline POST = %d", code)
+		}
+		ids = append(ids, acc.ID)
+	}
+	for _, id := range ids {
+		if st := waitTerminal(t, ts2, id); st.Cached {
+			t.Error("inline spec wrongly served from cache")
+		}
+	}
+}
+
+// TestResultCacheEviction pins the FIFO bound.
+func TestResultCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put(cacheKey{spec: "a"}, cacheEntry{canon: []byte("a")})
+	c.put(cacheKey{spec: "b"}, cacheEntry{canon: []byte("b")})
+	c.put(cacheKey{spec: "a"}, cacheEntry{canon: []byte("a2")}) // overwrite, no new slot
+	if e, ok := c.get(cacheKey{spec: "a"}); !ok || string(e.canon) != "a2" {
+		t.Fatalf("overwrite lost: %v %q", ok, e.canon)
+	}
+	c.put(cacheKey{spec: "c"}, cacheEntry{canon: []byte("c")})
+	if _, ok := c.get(cacheKey{spec: "a"}); ok {
+		t.Error("oldest entry not evicted")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok := c.get(cacheKey{spec: k}); !ok {
+			t.Errorf("entry %q wrongly evicted", k)
+		}
+	}
+}

@@ -47,6 +47,13 @@ type Job struct {
 	canceled bool // cancellation requested (DELETE observed)
 	cancel   context.CancelFunc
 
+	// cacheable marks jobs whose completed envelopes may enter the
+	// result cache (registered specs; inline specs have no stable
+	// identity). cached marks jobs that were served from it — born done,
+	// never queued.
+	cacheable bool
+	cached    bool
+
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -85,6 +92,7 @@ type jobStatus struct {
 	Cells      []campaign.CellStat `json:"cells,omitempty"`
 
 	Error       string `json:"error,omitempty"`
+	Cached      bool   `json:"cached,omitempty"`
 	ResultURL   string `json:"result_url,omitempty"`
 	ManifestURL string `json:"manifest_url,omitempty"`
 }
@@ -103,6 +111,7 @@ func (j *Job) status() jobStatus {
 		CellsTotal: len(j.spec.Cells),
 		CellsDone:  j.cellsDone,
 		Error:      j.err,
+		Cached:     j.cached,
 	}
 	if !j.started.IsZero() {
 		st.Started = j.started.UTC().Format(time.RFC3339Nano)

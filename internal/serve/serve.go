@@ -78,6 +78,13 @@ type Config struct {
 	// DefaultSeed seeds jobs that do not specify one. Default 42,
 	// matching cmd/experiments.
 	DefaultSeed int64
+	// CacheSize bounds the completed-result cache: resubmitting a
+	// registered spec at a (seed, scale) that already completed yields a
+	// job born done, serving the cached envelopes without re-running the
+	// campaign (results are deterministic, so the bytes are identical).
+	// Default 64; negative disables caching. Inline specs bypass the
+	// cache entirely.
+	CacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +103,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultSeed == 0 {
 		c.DefaultSeed = 42
 	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
 	return c
 }
 
@@ -111,6 +121,7 @@ type Server struct {
 	seq      int
 	draining bool
 	queue    chan *Job
+	cache    *resultCache // nil when caching is disabled
 
 	// queued/running are atomics, not mu-guarded fields: the /metrics
 	// gauges read them from inside the obs registry's snapshot lock,
@@ -151,6 +162,9 @@ func New(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 		jobs:  map[string]*Job{},
 		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newResultCache(cfg.CacheSize)
 	}
 	handlers := map[string]http.HandlerFunc{
 		"POST /v1/jobs":              s.handleSubmit,
@@ -288,6 +302,10 @@ func (s *Server) runJob(j *Job) {
 		j.result = canon.Bytes()
 		j.resultTimed = timed.Bytes()
 		s.finishLocked(j, StateDone, "")
+		if s.cache != nil && j.cacheable {
+			s.cache.put(cacheKey{spec: j.SpecName, seed: j.Seed, scale: j.Scale},
+				cacheEntry{canon: j.result, timed: j.resultTimed})
+		}
 	}
 	s.attachManifestLocked(j, out)
 }
@@ -323,7 +341,11 @@ func (s *Server) attachManifestLocked(j *Job, out *campaign.Outcome) {
 	if j.manifest != nil {
 		return
 	}
-	m := obs.NewManifest("serverd", []string{"job", j.ID, "spec", j.SpecName})
+	labels := []string{"job", j.ID, "spec", j.SpecName}
+	if j.cached {
+		labels = append(labels, "cached", "true")
+	}
+	m := obs.NewManifest("serverd", labels)
 	m.Date = j.finished.UTC().Format(time.RFC3339)
 	m.Seed, m.Scale, m.Workers = j.Seed, j.Scale, j.Parallel
 	rec := obs.RunRecord{Name: j.SpecName, Err: j.err}
@@ -432,6 +454,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		created:  time.Now(),
 		spec:     spec,
 	}
+	j.cacheable = req.Inline == nil
 	j.cellStats = make([]campaign.CellStat, len(spec.Cells))
 	for i, c := range spec.Cells {
 		j.cellStats[i] = campaign.CellStat{Key: c.Key, Seed: spec.CellSeed(c.Key)}
@@ -442,6 +465,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server is draining"})
 		return
+	}
+	if s.cache != nil && j.cacheable {
+		if e, ok := s.cache.get(cacheKey{spec: name, seed: seed, scale: scale}); ok {
+			// Cache hit: the job is born done, serving the completed
+			// envelopes without consuming queue or shard capacity.
+			s.seq++
+			j.ID = fmt.Sprintf("job-%06d", s.seq)
+			s.jobs[j.ID] = j
+			j.cached = true
+			j.started = j.created
+			j.cellsDone = len(spec.Cells)
+			j.result = e.canon
+			j.resultTimed = e.timed
+			s.finishLocked(j, StateDone, "")
+			s.attachManifestLocked(j, nil)
+			s.mu.Unlock()
+			jobsAccepted.Inc()
+			cacheHits.Inc()
+			w.Header().Set("Location", "/v1/jobs/"+j.ID)
+			writeJSON(w, http.StatusAccepted, jobAccepted{ID: j.ID, State: StateDone, StatusURL: "/v1/jobs/" + j.ID})
+			return
+		}
+		cacheMisses.Inc()
 	}
 	s.seq++
 	j.ID = fmt.Sprintf("job-%06d", s.seq)

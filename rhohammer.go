@@ -14,7 +14,8 @@
 //     pseudo-barriers, with the automatic tuning phase);
 //   - non-uniform (frequency-domain) pattern fuzzing and sweeping;
 //   - the end-to-end PTE-corruption exploit with buddy-allocator
-//     massaging.
+//     massaging, decomposed into swappable Allocator / Hammerer /
+//     Victim stages (internal/chain) selectable via ChainPlan.
 //
 // A minimal session:
 //
@@ -36,6 +37,7 @@ import (
 	"fmt"
 
 	"rhohammer/internal/arch"
+	"rhohammer/internal/chain"
 	"rhohammer/internal/exploit"
 	"rhohammer/internal/hammer"
 	"rhohammer/internal/mapping"
@@ -82,6 +84,10 @@ type (
 	ExploitOptions = exploit.Options
 	// ExploitResult is the end-to-end outcome.
 	ExploitResult = exploit.Result
+	// ChainPlan names an allocator/hammerer/victim attack composition.
+	ChainPlan = chain.Plan
+	// ChainResult is a composed chain's end-to-end outcome.
+	ChainResult = chain.Result
 	// RecoverResult is a reverse-engineering outcome.
 	RecoverResult = reverse.Result
 )
@@ -117,6 +123,18 @@ var (
 	KnownGood = pattern.KnownGood
 	// CompactPattern fits within a 4 MiB contiguous region (exploit).
 	CompactPattern = exploit.CompactPattern
+	// HugePattern fits within a 2 MiB THP region (thp allocator).
+	HugePattern = chain.HugePattern
+)
+
+// Chain stage listings: the names a ChainPlan accepts.
+var (
+	// ChainAllocators lists the allocator stages (buddy, thp).
+	ChainAllocators = chain.Allocators
+	// ChainHammerers lists the hammerer stages (rho, load).
+	ChainHammerers = chain.Hammerers
+	// ChainVictims lists the victim stages (pte, key).
+	ChainVictims = chain.Victims
 )
 
 // Hammer configuration constructors.
@@ -266,4 +284,12 @@ func (a *Attack) Exploit(opt ExploitOptions) (ExploitResult, error) {
 		opt.Config = a.RecommendedSingleBankConfig()
 	}
 	return exploit.Run(a.session, opt)
+}
+
+// Chain runs an arbitrary allocator/hammerer/victim composition as one
+// end-to-end attack. The zero plan is the paper's buddy/rho/pte triple
+// (equivalent to Exploit, reported through the chain's phase-structured
+// result).
+func (a *Attack) Chain(p ChainPlan) (ChainResult, error) {
+	return p.Run(a.session)
 }
