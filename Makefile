@@ -40,14 +40,17 @@ verify: build vet test race determinism doccheck
 
 # fuzz gives each native fuzz target a short budget on top of the
 # checked-in seed corpus: the differential oracle (random command
-# traces through fast and reference substrates) and the dram sampler /
-# pTRR table policies against naive mirrors. Override FUZZTIME for a
-# longer soak, e.g. `make fuzz FUZZTIME=5m`.
+# traces through fast and reference substrates), the dram sampler /
+# pTRR table policies against naive mirrors, and the trace-replay codec
+# (arbitrary bytes must decode to typed errors or replayable files,
+# never panic). Override FUZZTIME for a longer soak, e.g.
+# `make fuzz FUZZTIME=5m`.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDifferentialTrace$$' -fuzztime $(FUZZTIME) ./internal/refmodel
 	$(GO) test -run '^$$' -fuzz '^FuzzTRRSampler$$' -fuzztime $(FUZZTIME) ./internal/dram
 	$(GO) test -run '^$$' -fuzz '^FuzzPTRRTable$$' -fuzztime $(FUZZTIME) ./internal/dram
 	$(GO) test -run '^$$' -fuzz '^FuzzChainPlan$$' -fuzztime $(FUZZTIME) ./internal/chain
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceDecode$$' -fuzztime $(FUZZTIME) ./internal/replay
 
 # bench regenerates the machine-readable benchmark snapshot
 # (BENCH_<date>.json); see cmd/bench for flags.

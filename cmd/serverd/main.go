@@ -5,7 +5,8 @@
 //
 //	serverd [-addr :8077] [-shards N] [-queue N] [-retain N]
 //	        [-retry-after D] [-manifest-dir DIR] [-seed N]
-//	        [-drain-timeout D] [-cache N]
+//	        [-drain-timeout D] [-cache N] [-trace-cap N]
+//	        [-replay-max-bytes N]
 //
 // Jobs are admitted with POST /v1/jobs (a registered spec name or an
 // inline cell grid), execute on a pool of -shards concurrent campaign
@@ -48,6 +49,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "default seed for jobs that do not specify one")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before cancelling them")
 	cacheSize := flag.Int("cache", 64, "completed results cached per (spec, seed, scale) for instant resubmission; 0 disables")
+	traceCap := flag.Int("trace-cap", 0, "per-session event ring for the per-job trace endpoint (0 = default cap, negative disables capture)")
+	replayMax := flag.Int64("replay-max-bytes", 0, "POST /v1/replay body bound in bytes (0 = 4 MiB default)")
 	flag.Parse()
 
 	// Counter aggregation is always on in the serving process — the
@@ -59,14 +62,16 @@ func main() {
 		*cacheSize = -1 // Config treats 0 as "default"; the flag's 0 means off
 	}
 	srv, err := serve.New(serve.Config{
-		Registry:    experiments.Registry,
-		Shards:      *shards,
-		QueueDepth:  *queue,
-		Retain:      *retain,
-		RetryAfter:  *retryAfter,
-		ManifestDir: *manifestDir,
-		DefaultSeed: *seed,
-		CacheSize:   *cacheSize,
+		Registry:       experiments.Registry,
+		Shards:         *shards,
+		QueueDepth:     *queue,
+		Retain:         *retain,
+		RetryAfter:     *retryAfter,
+		ManifestDir:    *manifestDir,
+		DefaultSeed:    *seed,
+		CacheSize:      *cacheSize,
+		TraceCap:       *traceCap,
+		MaxReplayBytes: *replayMax,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -15,7 +15,12 @@ import (
 	"testing"
 	"time"
 
+	"rhohammer/internal/arch"
+	"rhohammer/internal/campaign"
+	"rhohammer/internal/dram"
 	"rhohammer/internal/experiments"
+	"rhohammer/internal/obs"
+	"rhohammer/internal/replay"
 )
 
 // TestServeSmoke is the `make servesmoke` harness: it builds the real
@@ -163,6 +168,64 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("cached chain result (%d) differs from the original", code)
 	}
 
+	// One trace-replay job: record a deterministic ACT/REF trace from an
+	// instrumented device, POST it through the real binary's /v1/replay,
+	// and golden-diff the served verdict envelope against the in-process
+	// Runner over the same decoded trace. The trace and the served
+	// envelope both land in the artifact directory. Submitted exactly
+	// once, so the cache-hit metric asserted below stays at 1.
+	const replaySeed = 42
+	recDev := dram.NewDevice(arch.DIMMS3(), replaySeed)
+	recTrace := obs.NewTrace(1 << 14)
+	recDev.SetTrace(recTrace)
+	tns := 0.0
+	for i := 0; i < 3000; i++ {
+		tns += 50
+		recDev.Activate(0, uint64(1000+(i%2)*2), tns)
+		if i%156 == 155 {
+			tns += 400
+			recDev.Refresh(tns)
+		}
+	}
+	var traceBuf bytes.Buffer
+	traceBuf.WriteString(replay.HeaderLine("S3", replaySeed))
+	if err := recTrace.WriteJSONL(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(artifacts, "replay-trace.jsonl"), traceBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := replay.DecodeBytes(traceBuf.Bytes(), replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replaySpec := replay.Spec(f)
+	replayOut, err := campaign.Runner{Workers: 1}.Run(replaySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayWant bytes.Buffer
+	replayCfg := experiments.Config{Seed: f.Seed, Scale: 1, Workers: 1}
+	if err := experiments.WriteCanonicalOutcomeJSON(&replayWant, replaySpec.Name, replayCfg, replayOut.Result, replayOut); err != nil {
+		t.Fatal(err)
+	}
+	replayBody, err := json.Marshal(map[string]string{"trace": traceBuf.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayJob := submitTo(t, base+"/v1/replay", string(replayBody))
+	waitDone(t, base, replayJob, 60*time.Second)
+	code, replayResult := httpGet(t, base+"/v1/jobs/"+replayJob+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("GET replay result = %d: %s", code, replayResult)
+	}
+	if !bytes.Equal(replayResult, replayWant.Bytes()) {
+		t.Errorf("served replay envelope diverges from golden Runner envelope\n got: %s\nwant: %s", replayResult, replayWant.Bytes())
+	}
+	if err := os.WriteFile(filepath.Join(artifacts, "replay-result.json"), replayResult, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	code, metrics := httpGet(t, base+"/metrics")
 	if code != http.StatusOK || !bytes.Contains(metrics, []byte("rhohammer_serve_jobs_completed_total")) {
 		t.Errorf("metrics = %d, missing serve counters:\n%s", code, metrics)
@@ -211,7 +274,14 @@ func TestServeSmoke(t *testing.T) {
 // submitJob posts a job and returns its ID.
 func submitJob(t *testing.T, base, body string) string {
 	t.Helper()
-	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	return submitTo(t, base+"/v1/jobs", body)
+}
+
+// submitTo posts a submission body to an admitting endpoint
+// (/v1/jobs or /v1/replay) and returns the accepted job ID.
+func submitTo(t *testing.T, url, body string) string {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}

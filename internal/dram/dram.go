@@ -627,6 +627,12 @@ func (d *Device) Flips() []Flip { return d.flips }
 // per-row states and the row cache (pointers stay valid — states are
 // mutated in place, never replaced).
 func (d *Device) Reset() {
+	if d.trace != nil {
+		// Reset is a substrate command like ACT/REF: without it in the
+		// trace, a replay would carry disturbance across trial
+		// boundaries the recording session cleared.
+		d.trace.Emit(obs.Event{Layer: "dram", Kind: "reset"})
+	}
 	for bank := range d.touched {
 		for _, st := range d.touched[bank] {
 			st.disturbance = 0

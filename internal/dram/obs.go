@@ -41,11 +41,13 @@ func (d *Device) Counters() Counters {
 //
 //	act   — one per ACT command (pre-swap logical address)
 //	ref   — one per REF command
+//	reset — one per Reset (disturbance state and flips cleared)
 //	trr   — one per targeted refresh (TRR sampler or pTRR sweep)
 //	flip  — one per bit flip, N = byte*8+bit of the flipped cell
 //	blast — a row's weak-cell population materialized under pressure,
 //	        N = number of weak cells drawn
 //
-// Tracing never touches an RNG stream; enabling it cannot perturb
-// simulation results.
+// The act/ref/reset events are the replayable command stream
+// internal/replay consumes. Tracing never touches an RNG stream;
+// enabling it cannot perturb simulation results.
 func (d *Device) SetTrace(t *obs.Trace) { d.trace = t }

@@ -30,7 +30,10 @@ func GoldenConfig() Config { return Config{Seed: 42, Scale: 0.5} }
 // the hashes again pin simulation results bit-for-bit. The chain
 // refactor added e2e (pinning the legacy exploit wrapper's output
 // byte-for-byte across the decomposition) and chain (pinning the
-// allocator x hammerer x victim grid).
+// allocator x hammerer x victim grid). The trace-replay PR added
+// replay-roundtrip: live session traces decoded and replayed through
+// the differential oracle, pinning the trace schema, the codec and the
+// replay engine alongside the physics.
 func Goldens() []Golden {
 	return []Golden{
 		{"table3", "2f84c61faa970673992c87c7caad8b41e80f626407b980ad17179b7bf495096e"},
@@ -38,6 +41,7 @@ func Goldens() []Golden {
 		{"fig9", "5c9d28b458cec9d43994d3300a47d00dcfe0a5e49707f1c32f4e7068897b63d2"},
 		{"e2e", "c7fcaa6323a0c9c57d56ce5e93a27a7a705c2ad9e6e64e0721ef6b9c9d4fcbd0"},
 		{"chain", "5071e8202b325c2452733047602cfa11ae2cb3da98837c49ba70d9bbd1d0d8a4"},
+		{"replay-roundtrip", "2299acc49b1c92061b7eac245a7b41edfe618619f2bab6eb1eda722d27d7dc92"},
 	}
 }
 

@@ -36,6 +36,7 @@ func init() {
 	register("mitigations", campaign.KindAux, "§6 mitigations vs rhoHammer", mitigationsSpec)
 	register("ablation-cs", campaign.KindAux, "counter-speculation ingredient ablation", ablationCSSpec)
 	register("ablation-sampler", campaign.KindAux, "TRR sampler capacity ablation", ablationSamplerSpec)
+	register("replay-roundtrip", campaign.KindAux, "session traces replayed through the differential oracle", replayRoundTripSpec)
 }
 
 // register wires one spec builder into the Registry, stamping the

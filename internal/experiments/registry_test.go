@@ -15,6 +15,7 @@ var expectedCampaigns = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6",
 	"fig3", "fig4", "fig6", "fig8", "fig9", "fig10", "fig11",
 	"e2e", "chain", "mitigations", "ablation-cs", "ablation-sampler",
+	"replay-roundtrip",
 }
 
 func TestRegistryCoversEveryExperiment(t *testing.T) {

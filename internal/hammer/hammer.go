@@ -238,6 +238,17 @@ type payloadKey struct {
 // payloadCache uses the same bound and policy.
 const progCacheLimit = 256
 
+// deviceSeedSalt decorrelates the device's vulnerability map from the
+// engine's reordering stream while keeping both a pure function of the
+// session seed.
+const deviceSeedSalt = 0x5ca1ab1e
+
+// DeviceSeed maps a session seed to the dram.Device seed NewSession
+// derives from it. Replaying a trace recorded by a session requires
+// the device seed, not the session seed — internal/replay clients use
+// this to name it.
+func DeviceSeed(sessionSeed int64) int64 { return sessionSeed ^ deviceSeedSalt }
+
 // NewSession creates a session for the architecture/DIMM pair. The seed
 // fixes both the DIMM's vulnerability map and the engine's stochastic
 // reordering.
@@ -253,7 +264,7 @@ func NewSession(a *arch.Arch, d *arch.DIMM, seed int64) (*Session, error) {
 		return nil, fmt.Errorf("hammer: no mapping for family %q at %d GiB", family, d.SizeGiB)
 	}
 	r := stats.NewRand(seed)
-	dev := dram.NewDevice(d, seed^0x5ca1ab1e)
+	dev := dram.NewDevice(d, DeviceSeed(seed))
 	ctrl := memctrl.New(a, m, dev)
 	s := &Session{
 		Arch: a, DIMM: d, Map: m, Dev: dev, Ctrl: ctrl,

@@ -11,10 +11,12 @@ import (
 
 // Event is one structured trace record. Layer names the emitting
 // subsystem (dram, hammer), Kind the event class
-// (act, ref, trr, flip, blast, pattern, tune). The numeric
+// (act, ref, reset, trr, flip, blast, pattern, tune). The numeric
 // fields are interpreted per kind; N is a generic magnitude (flips for
 // a pattern event, weak cells for a blast event, the chosen NOP count
-// for a tune event).
+// for a tune event). The act/ref/reset kinds form a replayable command
+// stream: internal/replay decodes a JSONL dump of them back into
+// substrate commands and reproduces the recording session's flips.
 type Event struct {
 	Seq    uint64  `json:"seq"`
 	TimeNS float64 `json:"t_ns,omitempty"`
@@ -126,6 +128,12 @@ type Collector struct {
 	capPer  int
 	traces  map[string]*Trace
 	order   []string
+	// captures routes SessionTrace calls for reserved seeds into
+	// per-scope Captures instead of the global pool, independently of
+	// the enabled flag. Multiple captures reserving the same seed
+	// round-robin, so concurrent identical jobs each record their own
+	// rings.
+	captures map[int64][]*Capture
 }
 
 // Traces is the process-global collector, armed by EnableTracing
@@ -172,26 +180,46 @@ func TracingEnabled() bool {
 // (stats.SplitSeed over the spec name and cell key), so concurrent
 // cells never share a ring; identical seeds (e.g. repeated manual
 // sessions) get a #n suffix in registration order.
+//
+// A seed reserved by a Capture takes precedence over the global pool:
+// the ring registers in that capture (even when global tracing is
+// disabled) and never appears in the collector's own dump.
 func SessionTrace(seed int64) *Trace {
 	Traces.mu.Lock()
 	defer Traces.mu.Unlock()
+	if list := Traces.captures[seed]; len(list) > 0 {
+		c := list[0]
+		if len(list) > 1 {
+			// Round-robin so concurrent jobs sharing a seed each fill
+			// their own capture rather than one capture taking all rings.
+			copy(list, list[1:])
+			list[len(list)-1] = c
+		}
+		return c.register(seed)
+	}
 	if !Traces.enabled {
 		return nil
 	}
-	key := fmt.Sprintf("session-%016x", uint64(seed))
-	if _, taken := Traces.traces[key]; taken {
-		for i := 2; ; i++ {
-			k := fmt.Sprintf("%s#%d", key, i)
-			if _, taken := Traces.traces[k]; !taken {
-				key = k
-				break
-			}
-		}
-	}
+	key := registerKey(Traces.traces, seed)
 	t := NewTrace(Traces.capPer)
 	Traces.traces[key] = t
 	Traces.order = append(Traces.order, key)
 	return t
+}
+
+// registerKey picks the session key for a seed in the given ring map:
+// session-%016x, with a #n suffix when the key is already taken.
+func registerKey(taken map[string]*Trace, seed int64) string {
+	key := fmt.Sprintf("session-%016x", uint64(seed))
+	if _, dup := taken[key]; !dup {
+		return key
+	}
+	for i := 2; ; i++ {
+		k := fmt.Sprintf("%s#%d", key, i)
+		if _, dup := taken[k]; !dup {
+			return k
+		}
+	}
 }
 
 // Sessions returns the registered trace keys in sorted order (the dump
@@ -212,6 +240,15 @@ func (c *Collector) Sessions() (keys []string, traces []*Trace) {
 // gains a "session" field identifying its ring.
 func (c *Collector) WriteJSONL(w io.Writer) error {
 	keys, traces := c.Sessions()
+	return writeSessionsJSONL(w, keys, traces)
+}
+
+// writeSessionsJSONL is the shared JSONL emission: one line per event
+// with the session key stamped in, plus a "truncated" marker line for
+// any ring that overflowed (so downstream consumers — the replay codec
+// in particular — can refuse an incomplete command stream instead of
+// replaying it wrong).
+func writeSessionsJSONL(w io.Writer, keys []string, traces []*Trace) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i, key := range keys {
@@ -231,4 +268,100 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// Capture collects the session traces of one bounded scope — the serve
+// layer uses one per job — without touching the global tracing switch.
+// Reserve routes future SessionTrace calls for a seed into this
+// capture; Release detaches it. Captures work whether or not global
+// tracing is enabled, and captured rings never leak into the global
+// collector's dump.
+type Capture struct {
+	capPer int
+	// seeds are the reservations to undo on Release; rings/order hold
+	// the registered traces keyed like the collector's. All fields are
+	// guarded by Traces.mu (captures are part of the collector's
+	// routing state, so one lock covers both).
+	seeds  []int64
+	traces map[string]*Trace
+	order  []string
+}
+
+// NewCapture returns an empty capture whose rings retain at most
+// capPerSession events each (<= 0 means DefaultTraceCap).
+func NewCapture(capPerSession int) *Capture {
+	return &Capture{capPer: capPerSession, traces: map[string]*Trace{}}
+}
+
+// Reserve routes SessionTrace(seed) calls into this capture until
+// Release. Reserving the same seed again is a no-op.
+func (c *Capture) Reserve(seed int64) {
+	Traces.mu.Lock()
+	defer Traces.mu.Unlock()
+	for _, s := range c.seeds {
+		if s == seed {
+			return
+		}
+	}
+	if Traces.captures == nil {
+		Traces.captures = map[int64][]*Capture{}
+	}
+	Traces.captures[seed] = append(Traces.captures[seed], c)
+	c.seeds = append(c.seeds, seed)
+}
+
+// Release undoes every reservation. The captured rings stay readable;
+// sessions created afterwards fall back to the global pool.
+func (c *Capture) Release() {
+	Traces.mu.Lock()
+	defer Traces.mu.Unlock()
+	for _, seed := range c.seeds {
+		list := Traces.captures[seed]
+		kept := list[:0]
+		for _, cc := range list {
+			if cc != c {
+				kept = append(kept, cc)
+			}
+		}
+		if len(kept) == 0 {
+			delete(Traces.captures, seed)
+		} else {
+			Traces.captures[seed] = kept
+		}
+	}
+	c.seeds = nil
+}
+
+// register creates and keys a new ring in the capture. Caller holds
+// Traces.mu.
+func (c *Capture) register(seed int64) *Trace {
+	key := registerKey(c.traces, seed)
+	t := NewTrace(c.capPer)
+	c.traces[key] = t
+	c.order = append(c.order, key)
+	return t
+}
+
+// Len reports how many session rings the capture holds.
+func (c *Capture) Len() int {
+	Traces.mu.Lock()
+	defer Traces.mu.Unlock()
+	return len(c.order)
+}
+
+// WriteJSONL dumps the captured traces in the collector's format:
+// sessions in sorted key order, events in emission order, truncated
+// markers for overflowed rings. Keys derive from seeds alone, so for a
+// campaign job the bytes are deterministic across worker counts and
+// schedules.
+func (c *Capture) WriteJSONL(w io.Writer) error {
+	Traces.mu.Lock()
+	keys := append([]string(nil), c.order...)
+	sort.Strings(keys)
+	traces := make([]*Trace, 0, len(keys))
+	for _, k := range keys {
+		traces = append(traces, c.traces[k])
+	}
+	Traces.mu.Unlock()
+	return writeSessionsJSONL(w, keys, traces)
 }

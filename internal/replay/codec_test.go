@@ -1,0 +1,277 @@
+package replay
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// s3opts decodes against the S3 module profile (32 banks, 2^16 rows).
+func s3opts() Options { return Options{DIMM: "S3"} }
+
+// TestDecodeFailureModes pins every rejection path of the codec: each
+// malformed trace yields a typed *DecodeError carrying the offending
+// line number — never a panic, never an untyped error.
+func TestDecodeFailureModes(t *testing.T) {
+	act := `{"seq":0,"layer":"dram","kind":"act","bank":1,"row":5}`
+	cases := []struct {
+		name  string
+		trace string
+		opts  Options
+		kind  ErrorKind
+		line  int
+	}{
+		{
+			name:  "truncated JSON line",
+			trace: act + "\n" + `{"seq":1,"layer":"dram","kind":"a`,
+			opts:  s3opts(),
+			kind:  ErrSyntax,
+			line:  2,
+		},
+		{
+			name:  "unknown field is strict",
+			trace: `{"seq":0,"layer":"dram","kind":"act","bank":1,"row":5,"bogus":1}`,
+			opts:  s3opts(),
+			kind:  ErrSyntax,
+			line:  1,
+		},
+		{
+			name:  "wrong field type",
+			trace: `{"seq":0,"layer":"dram","kind":"act","bank":"one","row":5}`,
+			opts:  s3opts(),
+			kind:  ErrSyntax,
+			line:  1,
+		},
+		{
+			name:  "unknown event kind",
+			trace: act + "\n" + `{"seq":1,"layer":"dram","kind":"zap"}`,
+			opts:  s3opts(),
+			kind:  ErrUnknownKind,
+			line:  2,
+		},
+		{
+			name:  "missing kind",
+			trace: `{"seq":0,"layer":"dram"}`,
+			opts:  s3opts(),
+			kind:  ErrUnknownKind,
+			line:  1,
+		},
+		{
+			name:  "bank out of range",
+			trace: `{"seq":0,"layer":"dram","kind":"act","bank":32,"row":5}`,
+			opts:  s3opts(),
+			kind:  ErrBankRange,
+			line:  1,
+		},
+		{
+			name:  "negative bank",
+			trace: `{"seq":0,"layer":"dram","kind":"act","bank":-1,"row":5}`,
+			opts:  s3opts(),
+			kind:  ErrBankRange,
+			line:  1,
+		},
+		{
+			name:  "row out of range",
+			trace: `{"seq":0,"layer":"dram","kind":"act","bank":1,"row":65536}`,
+			opts:  s3opts(),
+			kind:  ErrRowRange,
+			line:  1,
+		},
+		{
+			name:  "flip annotation addresses are validated too",
+			trace: act + "\n" + `{"seq":1,"layer":"dram","kind":"flip","bank":1,"row":70000,"n":3}`,
+			opts:  s3opts(),
+			kind:  ErrRowRange,
+			line:  2,
+		},
+		{
+			name:  "oversize line",
+			trace: act + "\n" + `{"seq":1,"layer":"dram","kind":"act","bank":1,"row":5}` + strings.Repeat(" ", 300),
+			opts:  Options{DIMM: "S3", MaxLineBytes: 128},
+			kind:  ErrLineTooLong,
+			line:  2,
+		},
+		{
+			name:  "too many events",
+			trace: act + "\n" + act + "\n" + act,
+			opts:  Options{DIMM: "S3", MaxEvents: 2},
+			kind:  ErrTooManyEvents,
+			line:  3,
+		},
+		{
+			name:  "truncated ring marker",
+			trace: act + "\n" + `{"kind":"truncated","n":17}`,
+			opts:  s3opts(),
+			kind:  ErrTruncated,
+			line:  2,
+		},
+		{
+			name:  "empty trace",
+			trace: "",
+			opts:  s3opts(),
+			kind:  ErrEmpty,
+			line:  0,
+		},
+		{
+			name:  "annotations only",
+			trace: `{"seq":0,"layer":"hammer","kind":"pattern","n":3}`,
+			opts:  s3opts(),
+			kind:  ErrEmpty,
+			line:  1,
+		},
+		{
+			name: "mixed sessions without a selector",
+			trace: `{"session":"session-a","seq":0,"layer":"dram","kind":"act","bank":1,"row":5}` + "\n" +
+				`{"session":"session-b","seq":0,"layer":"dram","kind":"act","bank":1,"row":6}`,
+			opts: s3opts(),
+			kind: ErrMultiSession,
+			line: 2,
+		},
+		{
+			name:  "no module profile",
+			trace: act,
+			opts:  Options{},
+			kind:  ErrDIMM,
+			line:  1,
+		},
+		{
+			name:  "unknown module profile",
+			trace: act,
+			opts:  Options{DIMM: "Z9"},
+			kind:  ErrDIMM,
+			line:  1,
+		},
+		{
+			name:  "unsupported header version",
+			trace: `{"rhohammer_trace":"v999","dimm":"S3"}` + "\n" + act,
+			kind:  ErrVersion,
+			line:  1,
+		},
+		{
+			name:  "malformed header",
+			trace: `{"rhohammer_trace":"v1","dimm":"S3","wat":true}` + "\n" + act,
+			kind:  ErrHeader,
+			line:  1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := DecodeBytes([]byte(tc.trace), tc.opts)
+			if err == nil {
+				t.Fatalf("Decode accepted the trace: %+v", f)
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("error is %T, want *DecodeError: %v", err, err)
+			}
+			if de.Kind != tc.kind {
+				t.Errorf("kind = %q, want %q (%v)", de.Kind, tc.kind, de)
+			}
+			if de.Line != tc.line {
+				t.Errorf("line = %d, want %d (%v)", de.Line, tc.line, de)
+			}
+		})
+	}
+}
+
+// TestDecodeValidTraces pins the accepting paths: plain dumps, headered
+// files, session selection, annotation bookkeeping, and the option/
+// header precedence for DIMM and seed.
+func TestDecodeValidTraces(t *testing.T) {
+	seed := int64(99)
+	t.Run("plain dump with options", func(t *testing.T) {
+		trace := `{"seq":0,"t_ns":10,"layer":"dram","kind":"act","bank":1,"row":5}
+{"seq":1,"t_ns":20,"layer":"dram","kind":"ref"}
+{"seq":2,"layer":"dram","kind":"reset"}
+{"seq":3,"t_ns":30,"layer":"dram","kind":"flip","bank":1,"row":6,"n":43}
+{"seq":4,"layer":"hammer","kind":"pattern","n":2}
+`
+		f, err := DecodeBytes([]byte(trace), Options{DIMM: "S3", Seed: &seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.DIMMID != "S3" || f.Seed != 99 {
+			t.Errorf("resolved (dimm, seed) = (%q, %d)", f.DIMMID, f.Seed)
+		}
+		want := []Cmd{
+			{Kind: CmdAct, Bank: 1, Row: 5, At: 10},
+			{Kind: CmdRef, At: 20},
+			{Kind: CmdReset},
+		}
+		if len(f.Cmds) != len(want) {
+			t.Fatalf("decoded %d commands, want %d", len(f.Cmds), len(want))
+		}
+		for i, c := range want {
+			if f.Cmds[i] != c {
+				t.Errorf("cmd %d = %+v, want %+v", i, f.Cmds[i], c)
+			}
+		}
+		if len(f.RecordedFlips) != 1 || f.RecordedFlips[0] != (FlipKey{Bank: 1, Row: 6, N: 43, At: 30}) {
+			t.Errorf("recorded flips = %+v", f.RecordedFlips)
+		}
+		if f.Annotations != 1 {
+			t.Errorf("annotations = %d, want 1", f.Annotations)
+		}
+		if f.Hash == "" {
+			t.Error("no content hash")
+		}
+	})
+	t.Run("header supplies dimm and seed", func(t *testing.T) {
+		trace := HeaderLine("S4", 1234) + `{"seq":0,"layer":"dram","kind":"act","bank":0,"row":1}` + "\n"
+		f, err := DecodeBytes([]byte(trace), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.DIMMID != "S4" || f.Seed != 1234 {
+			t.Errorf("resolved (dimm, seed) = (%q, %d), want (S4, 1234)", f.DIMMID, f.Seed)
+		}
+	})
+	t.Run("options override the header", func(t *testing.T) {
+		trace := HeaderLine("S4", 1234) + `{"seq":0,"layer":"dram","kind":"act","bank":0,"row":1}` + "\n"
+		f, err := DecodeBytes([]byte(trace), Options{DIMM: "S1", Seed: &seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.DIMMID != "S1" || f.Seed != 99 {
+			t.Errorf("resolved (dimm, seed) = (%q, %d), want (S1, 99)", f.DIMMID, f.Seed)
+		}
+	})
+	t.Run("session selector filters a collector dump", func(t *testing.T) {
+		trace := `{"session":"session-a","seq":0,"layer":"dram","kind":"act","bank":1,"row":5}
+{"session":"session-b","seq":0,"layer":"dram","kind":"act","bank":2,"row":6}
+{"session":"session-a","seq":1,"layer":"dram","kind":"ref"}
+`
+		f, err := DecodeBytes([]byte(trace), Options{DIMM: "S3", Session: "session-a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Cmds) != 2 || f.Cmds[0].Bank != 1 || f.Cmds[1].Kind != CmdRef {
+			t.Errorf("selected commands = %+v", f.Cmds)
+		}
+	})
+	t.Run("hash covers the replay parameters", func(t *testing.T) {
+		trace := `{"seq":0,"layer":"dram","kind":"act","bank":1,"row":5}`
+		a, err := DecodeBytes([]byte(trace), Options{DIMM: "S3"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DecodeBytes([]byte(trace), Options{DIMM: "S4"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := DecodeBytes([]byte(trace), Options{DIMM: "S3", Seed: &seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Hash == b.Hash || a.Hash == c.Hash {
+			t.Errorf("hash ignores replay parameters: %s / %s / %s", a.Hash, b.Hash, c.Hash)
+		}
+		a2, err := DecodeBytes([]byte(trace), Options{DIMM: "S3"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Hash != a2.Hash {
+			t.Errorf("hash not stable: %s != %s", a.Hash, a2.Hash)
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package replay
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzTraceDecode feeds arbitrary bytes through the trace codec. The
+// contract under fuzzing: Decode never panics, and every rejection is a
+// typed *DecodeError with a usable line number. Small accepted traces
+// are additionally replayed end to end, so the engine shares the
+// no-panic guarantee on codec-accepted input.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte(`{"seq":0,"layer":"dram","kind":"act","bank":1,"row":5}` + "\n" +
+		`{"seq":1,"layer":"dram","kind":"ref"}` + "\n"))
+	f.Add([]byte(HeaderLine("S3", 42) + `{"seq":0,"t_ns":5,"layer":"dram","kind":"act","bank":0,"row":1000}` + "\n"))
+	f.Add([]byte(`{"session":"session-0000000000000001","seq":0,"layer":"dram","kind":"act","bank":3,"row":9}` + "\n" +
+		`{"session":"session-0000000000000001","kind":"truncated","n":4}` + "\n"))
+	f.Add([]byte(`{"seq":0,"layer":"dram","kind":"zap"}`))
+	f.Add([]byte(`{"rhohammer_trace":"v1"`))
+	f.Add([]byte("\n\n{not json\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		f, err := DecodeBytes(data, Options{DIMM: "S3", MaxEvents: 4096, MaxLineBytes: 4096})
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("non-typed decode error %T: %v", err, err)
+			}
+			if de.Line < 0 {
+				t.Fatalf("negative line number in %v", de)
+			}
+			return
+		}
+		if len(f.Cmds) == 0 {
+			t.Fatal("accepted a trace with no commands")
+		}
+		// Codec-accepted traces must replay without panicking; keep the
+		// command budget small so the fuzzer stays fast.
+		if len(f.Cmds) <= 256 {
+			v := Run(f)
+			if v.Commands != len(f.Cmds) {
+				t.Fatalf("verdict covers %d of %d commands", v.Commands, len(f.Cmds))
+			}
+		}
+	})
+}

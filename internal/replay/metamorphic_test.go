@@ -1,0 +1,129 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"rhohammer/internal/arch"
+	"rhohammer/internal/hammer"
+	"rhohammer/internal/obs"
+	"rhohammer/internal/pattern"
+)
+
+// recordSessionTrace hammers the vulnerable S4 module for 25 ms and
+// returns the dumped trace plus the replay options that reproduce it —
+// the shared fixture for the metamorphic properties below. 25 ms is the
+// shortest run that reliably flips, so none of the properties hold
+// vacuously.
+func recordSessionTrace(t *testing.T) ([]byte, Options) {
+	t.Helper()
+	a := arch.RaptorLake()
+	d := arch.DIMMS4()
+	const seed = 12345
+	s, err := hammer.NewSession(a, d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace(1 << 19)
+	s.AttachTrace(tr)
+	if _, err := s.HammerPatternFor(pattern.KnownGood(), hammer.RecommendedSingleBank(a), 0, 1000, 25e6); err != nil {
+		t.Fatal(err)
+	}
+	if dr := tr.Dropped(); dr > 0 {
+		t.Fatalf("trace ring dropped %d events", dr)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	devSeed := hammer.DeviceSeed(seed)
+	return buf.Bytes(), Options{DIMM: d.ID, Seed: &devSeed}
+}
+
+// TestMetamorphicReplay checks the replay engine's metamorphic
+// properties on a real recorded trace: determinism (same trace, same
+// verdict, bit for bit), prefix monotonicity (replaying a prefix never
+// reports flips the full replay lacks), and REF inertness (appending
+// pure refresh commands after the last ACT adds no flips).
+func TestMetamorphicReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a 25ms hammer session; skipped in -short")
+	}
+	trace, opts := recordSessionTrace(t)
+	full := decodeAndRun(t, trace, opts)
+	if full.FlipCount == 0 {
+		t.Fatal("fixture trace replays to zero flips; properties would be vacuous")
+	}
+
+	t.Run("replay twice is bit-identical", func(t *testing.T) {
+		again := decodeAndRun(t, trace, opts)
+		a, err := json.Marshal(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("two replays of the same trace differ:\n%s\n%s", a, b)
+		}
+	})
+
+	t.Run("prefix replay is a prefix of the full replay", func(t *testing.T) {
+		lines := bytes.Split(bytes.TrimSuffix(trace, []byte("\n")), []byte("\n"))
+		for _, frac := range []int{4, 2} {
+			cut := len(lines) / frac * (frac - 1) // keep (frac-1)/frac of the lines
+			prefix := append(bytes.Join(lines[:cut], []byte("\n")), '\n')
+			// A prefix cut can strand flip annotations whose commands
+			// follow the cut only in the other direction — annotations
+			// trail their flips — so the decode stays well-formed.
+			v := decodeAndRun(t, prefix, opts)
+			if v.FlipCount > full.FlipCount {
+				t.Fatalf("prefix (%d/%d lines) replayed %d flips, full replay only %d",
+					cut, len(lines), v.FlipCount, full.FlipCount)
+			}
+			for i, fl := range v.Flips {
+				if fl != full.Flips[i] {
+					t.Errorf("prefix (%d/%d lines) flip %d = %+v diverges from full replay's %+v",
+						cut, len(lines), i, fl, full.Flips[i])
+				}
+			}
+		}
+	})
+
+	t.Run("appending pure REFs adds no flips", func(t *testing.T) {
+		ext := append([]byte(nil), trace...)
+		at := 30e6
+		for i := 0; i < 1000; i++ {
+			at += 7800
+			ext = append(ext, fmt.Sprintf(`{"seq":%d,"t_ns":%g,"layer":"dram","kind":"ref"}`+"\n", 1<<30+i, at)...)
+		}
+		v := decodeAndRun(t, ext, opts)
+		if v.Refs != full.Refs+1000 {
+			t.Fatalf("extended trace replayed %d REFs, want %d", v.Refs, full.Refs+1000)
+		}
+		if v.FlipCount != full.FlipCount {
+			t.Errorf("appending REFs changed the flip count: %d -> %d", full.FlipCount, v.FlipCount)
+		}
+		for i, fl := range v.Flips {
+			if fl != full.Flips[i] {
+				t.Errorf("appending REFs perturbed flip %d: %+v != %+v", i, fl, full.Flips[i])
+			}
+		}
+		if v.Divergence != "" {
+			t.Errorf("auditor diverged on the extended trace: %s", v.Divergence)
+		}
+	})
+}
+
+func decodeAndRun(t *testing.T, trace []byte, opts Options) *Verdict {
+	t.Helper()
+	f, err := DecodeBytes(trace, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(f)
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"net/http"
+	"sync"
 	"testing"
 )
 
@@ -86,6 +87,110 @@ func TestCacheDisabledAndInlineBypass(t *testing.T) {
 	for _, id := range ids {
 		if st := waitTerminal(t, ts2, id); st.Cached {
 			t.Error("inline spec wrongly served from cache")
+		}
+	}
+}
+
+// TestResultCacheEvictionOrder pins the eviction *order*, not just the
+// bound: FIFO by first insertion, overwrites keep the original slot
+// (and age), and a re-inserted key after eviction goes to the back of
+// the line.
+func TestResultCacheEvictionOrder(t *testing.T) {
+	cases := []struct {
+		name    string
+		cap     int
+		puts    []string // keys inserted in order (repeats overwrite or re-insert)
+		present []string
+		absent  []string
+	}{
+		{
+			name: "capacity one holds only the newest",
+			cap:  1, puts: []string{"a", "b"},
+			present: []string{"b"}, absent: []string{"a"},
+		},
+		{
+			name: "fifo evicts the first insertion",
+			cap:  2, puts: []string{"a", "b", "c"},
+			present: []string{"b", "c"}, absent: []string{"a"},
+		},
+		{
+			name: "re-insert after evict joins the back of the line",
+			cap:  2, puts: []string{"a", "b", "c", "a"}, // c evicts a; a re-enters, evicting b
+			present: []string{"c", "a"}, absent: []string{"b"},
+		},
+		{
+			name: "overwrite keeps the original slot and age",
+			cap:  2, puts: []string{"a", "b", "a", "c"}, // overwrite of a is not a new slot; c still evicts a
+			present: []string{"b", "c"}, absent: []string{"a"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newResultCache(tc.cap)
+			for i, k := range tc.puts {
+				c.put(cacheKey{spec: k}, cacheEntry{canon: []byte{byte(i)}})
+			}
+			if len(c.m) > tc.cap || len(c.order) > tc.cap {
+				t.Fatalf("cache exceeded its bound: %d entries, %d order slots, cap %d",
+					len(c.m), len(c.order), tc.cap)
+			}
+			for _, k := range tc.present {
+				if _, ok := c.get(cacheKey{spec: k}); !ok {
+					t.Errorf("key %q wrongly evicted", k)
+				}
+			}
+			for _, k := range tc.absent {
+				if _, ok := c.get(cacheKey{spec: k}); ok {
+					t.Errorf("key %q should have been evicted", k)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentCacheHits hammers one completed (spec, seed, scale)
+// with concurrent resubmissions: every one must be born done, marked
+// cached:true in both status and manifest, and serve byte-identical
+// envelopes. `make verify` runs this under -race, so it also shakes
+// out cache/admission data races.
+func TestConcurrentCacheHits(t *testing.T) {
+	_, ts := newTestServer(t, Config{Registry: tinyRegistry()})
+	first := submit(t, ts, `{"spec":"tiny","seed":7}`)
+	if st := waitTerminal(t, ts, first); st.State != StateDone {
+		t.Fatalf("priming job = %s", st.State)
+	}
+	_, want := fetch(t, ts.URL+"/v1/jobs/"+first+"/result")
+
+	const n = 16
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var acc jobAccepted
+			code, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"spec":"tiny","seed":7}`, &acc)
+			if code != http.StatusAccepted || acc.State != StateDone {
+				t.Errorf("hit %d: POST = %d state=%s, want 202/done", i, code, acc.State)
+				return
+			}
+			ids[i] = acc.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if id == "" {
+			continue // already reported
+		}
+		st := waitTerminal(t, ts, id)
+		if !st.Cached || st.State != StateDone {
+			t.Errorf("hit %d: state=%s cached=%v, want done/cached", i, st.State, st.Cached)
+		}
+		if _, got := fetch(t, ts.URL+"/v1/jobs/"+id+"/result"); !bytes.Equal(got, want) {
+			t.Errorf("hit %d: cached envelope differs from the original", i)
+		}
+		if _, manifest := fetch(t, ts.URL+"/v1/jobs/"+id+"/manifest"); !bytes.Contains(manifest, []byte(`"cached"`)) {
+			t.Errorf("hit %d: manifest does not record the cache hit", i)
 		}
 	}
 }

@@ -72,6 +72,11 @@ type Job struct {
 	result      []byte
 	resultTimed []byte
 	manifest    []byte
+	// trace holds the job's per-session obs trace dump (JSONL, collector
+	// format), captured while the job ran and served at
+	// GET /v1/jobs/{id}/trace. Empty for cached and replay jobs, which
+	// execute no hammer sessions.
+	trace []byte
 }
 
 // jobStatus is the GET /v1/jobs/{id} response body.
@@ -95,6 +100,7 @@ type jobStatus struct {
 	Cached      bool   `json:"cached,omitempty"`
 	ResultURL   string `json:"result_url,omitempty"`
 	ManifestURL string `json:"manifest_url,omitempty"`
+	TraceURL    string `json:"trace_url,omitempty"`
 }
 
 // status snapshots the job for the status endpoint. Caller holds the
@@ -126,6 +132,9 @@ func (j *Job) status() jobStatus {
 	}
 	if j.manifest != nil {
 		st.ManifestURL = "/v1/jobs/" + j.ID + "/manifest"
+	}
+	if len(j.trace) > 0 {
+		st.TraceURL = "/v1/jobs/" + j.ID + "/trace"
 	}
 	return st
 }

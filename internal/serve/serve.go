@@ -85,6 +85,13 @@ type Config struct {
 	// Default 64; negative disables caching. Inline specs bypass the
 	// cache entirely.
 	CacheSize int
+	// TraceCap bounds each per-session obs trace ring recorded for a
+	// running job (served at GET /v1/jobs/{id}/trace). 0 means
+	// obs.DefaultTraceCap; negative disables per-job trace capture.
+	TraceCap int
+	// MaxReplayBytes bounds the POST /v1/replay request body. Default
+	// 4 MiB.
+	MaxReplayBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +112,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 64
+	}
+	if c.MaxReplayBytes == 0 {
+		c.MaxReplayBytes = 4 << 20
 	}
 	return c
 }
@@ -142,7 +152,9 @@ func Routes() []string {
 		"GET /v1/jobs/{id}",
 		"GET /v1/jobs/{id}/result",
 		"GET /v1/jobs/{id}/manifest",
+		"GET /v1/jobs/{id}/trace",
 		"DELETE /v1/jobs/{id}",
+		"POST /v1/replay",
 		"GET /v1/specs",
 		"GET /metrics",
 		"GET /healthz",
@@ -171,7 +183,9 @@ func New(cfg Config) (*Server, error) {
 		"GET /v1/jobs/{id}":          s.handleStatus,
 		"GET /v1/jobs/{id}/result":   s.handleResult,
 		"GET /v1/jobs/{id}/manifest": s.handleManifest,
+		"GET /v1/jobs/{id}/trace":    s.handleTrace,
 		"DELETE /v1/jobs/{id}":       s.handleCancel,
+		"POST /v1/replay":            s.handleReplay,
 		"GET /v1/specs":              s.handleSpecs,
 		"GET /metrics":               s.handleMetrics,
 		"GET /healthz":               s.handleHealthz,
@@ -261,6 +275,17 @@ func (s *Server) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.running.Add(1)
+	// Per-job trace capture: every cell seed is reserved before any cell
+	// runs, so the hammer sessions the campaign creates record into this
+	// job's rings regardless of global tracing state. The dump becomes
+	// GET /v1/jobs/{id}/trace.
+	var capt *obs.Capture
+	if s.cfg.TraceCap >= 0 {
+		capt = obs.NewCapture(s.cfg.TraceCap)
+		for _, cs := range j.cellStats {
+			capt.Reserve(cs.Seed)
+		}
+	}
 	s.mu.Unlock()
 	defer cancel()
 
@@ -278,6 +303,15 @@ func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running.Add(-1)
+	if capt != nil {
+		capt.Release()
+		if capt.Len() > 0 {
+			var buf bytes.Buffer
+			if err := capt.WriteJSONL(&buf); err == nil {
+				j.trace = buf.Bytes()
+			}
+		}
+	}
 	if out != nil {
 		// The runner's view is authoritative (it includes never-started
 		// cells after a cancellation).
@@ -459,7 +493,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, c := range spec.Cells {
 		j.cellStats[i] = campaign.CellStat{Key: c.Key, Seed: spec.CellSeed(c.Key)}
 	}
+	s.admit(w, j)
+}
 
+// admit runs the shared admission tail for a fully built job — the
+// same machinery whether the job came from POST /v1/jobs or
+// POST /v1/replay: drain check, result-cache lookup (a hit is born
+// done without consuming queue or shard capacity), then queue
+// admission with 429 backpressure.
+func (s *Server) admit(w http.ResponseWriter, j *Job) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -467,7 +509,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cache != nil && j.cacheable {
-		if e, ok := s.cache.get(cacheKey{spec: name, seed: seed, scale: scale}); ok {
+		if e, ok := s.cache.get(cacheKey{spec: j.SpecName, seed: j.Seed, scale: j.Scale}); ok {
 			// Cache hit: the job is born done, serving the completed
 			// envelopes without consuming queue or shard capacity.
 			s.seq++
@@ -475,7 +517,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.jobs[j.ID] = j
 			j.cached = true
 			j.started = j.created
-			j.cellsDone = len(spec.Cells)
+			j.cellsDone = len(j.spec.Cells)
 			j.result = e.canon
 			j.resultTimed = e.timed
 			s.finishLocked(j, StateDone, "")
