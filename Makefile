@@ -1,8 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 SERVESMOKE_OUT ?= smoke-artifacts
+DISTSMOKE_OUT ?= distsmoke-artifacts
 
-.PHONY: build vet test race determinism doccheck verify bench benchdiff fuzz servesmoke
+.PHONY: build vet test race determinism doccheck verify bench benchdiff fuzz servesmoke distsmoke
 
 build:
 	$(GO) build ./...
@@ -23,10 +24,13 @@ race:
 	$(GO) test -race -short -timeout 20m ./...
 
 # determinism proves the campaign contract under the race detector:
-# rendered experiment bytes are identical at 1 and 8 workers, and the
-# runner's synthetic grids agree across worker counts.
+# rendered experiment bytes are identical at 1 and 8 workers, the
+# runner's and the stealing pool's synthetic grids agree across worker
+# counts, and the distributed fabric produces byte-identical canonical
+# envelopes for standalone, 1-, 2- and 4-worker-node topologies
+# (SCALING.md has the argument).
 determinism:
-	$(GO) test -race -run 'Determinism' ./internal/campaign ./internal/experiments
+	$(GO) test -race -run 'Determinism' ./internal/campaign ./internal/experiments ./internal/serve
 
 # doccheck keeps the documentation from rotting: every package must
 # carry a package doc comment, every relative link in the root
@@ -73,3 +77,14 @@ benchdiff:
 servesmoke:
 	RHOHAMMER_SERVESMOKE=1 SERVESMOKE_OUT=$(abspath $(SERVESMOKE_OUT)) \
 		$(GO) test -count=1 -v -run 'TestServeSmoke' ./cmd/serverd
+
+# distsmoke boots the real distributed fabric: one serverd coordinator
+# plus two serverd workers (separate processes on localhost), submits a
+# golden-pinned campaign, diffs the merged envelope against a
+# standalone serverd run byte for byte, checks the manifest records
+# both nodes, then SIGTERM-drains all three and requires clean exits.
+# Artifacts (envelopes, metrics, manifests) land in DISTSMOKE_OUT; CI
+# uploads them.
+distsmoke:
+	RHOHAMMER_DISTSMOKE=1 DISTSMOKE_OUT=$(abspath $(DISTSMOKE_OUT)) \
+		$(GO) test -count=1 -v -timeout 10m -run 'TestDistSmoke' ./cmd/serverd

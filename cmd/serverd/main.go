@@ -1,12 +1,16 @@
 // Command serverd is the long-lived campaign service: the experiment
-// registry behind an HTTP job API (see API.md for the wire contract).
+// registry behind an HTTP job API (see API.md for the wire contract,
+// SCALING.md for the distributed fabric).
 //
 // Usage:
 //
-//	serverd [-addr :8077] [-shards N] [-queue N] [-retain N]
+//	serverd [-role standalone|coordinator|worker]
+//	        [-addr :8077] [-shards N] [-queue N] [-retain N]
 //	        [-retry-after D] [-manifest-dir DIR] [-seed N]
 //	        [-drain-timeout D] [-cache N] [-trace-cap N]
 //	        [-replay-max-bytes N]
+//	        [-lease-ttl D] [-lease-batch N]
+//	        [-coordinator URL] [-worker-name S] [-poll D] [-parallel N]
 //
 // Jobs are admitted with POST /v1/jobs (a registered spec name or an
 // inline cell grid), execute on a pool of -shards concurrent campaign
@@ -15,15 +19,28 @@
 // result endpoint serves the canonical envelope — byte-identical to
 // `experiments -json -canon -only <spec>` at the same seed and scale.
 //
+// Roles: the default standalone server executes every job locally. A
+// -role coordinator server additionally registers the lease routes and
+// executes registered-spec jobs on worker nodes — processes started
+// with -role worker -coordinator URL, which lease batches of cells,
+// run them against their own copy of the registry, and post results
+// back. The merged envelope is byte-identical to a standalone run at
+// any node count (`make determinism` proves it; SCALING.md has the
+// argument). A dead worker's leases expire after -lease-ttl and its
+// cells are re-leased.
+//
 // On SIGTERM or SIGINT the server drains: admission stops (POST
 // returns 503, /healthz reports "draining"), in-flight and queued jobs
 // run to completion, results stay fetchable throughout, and the
 // process exits 0 once idle. If the drain exceeds -drain-timeout the
-// remaining jobs are cancelled first.
+// remaining jobs are cancelled first. A worker exits on the first
+// signal; any lease it held is reclaimed by the coordinator at its
+// deadline.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +57,7 @@ import (
 )
 
 func main() {
+	role := flag.String("role", "standalone", "standalone, coordinator (lease cells to workers) or worker (execute leased cells)")
 	addr := flag.String("addr", ":8077", "listen address (host:port; port 0 picks a free port)")
 	shards := flag.Int("shards", 2, "jobs executing concurrently")
 	queue := flag.Int("queue", 16, "admitted jobs waiting beyond the running ones; full queue returns 429")
@@ -51,12 +69,27 @@ func main() {
 	cacheSize := flag.Int("cache", 64, "completed results cached per (spec, seed, scale) for instant resubmission; 0 disables")
 	traceCap := flag.Int("trace-cap", 0, "per-session event ring for the per-job trace endpoint (0 = default cap, negative disables capture)")
 	replayMax := flag.Int64("replay-max-bytes", 0, "POST /v1/replay body bound in bytes (0 = 4 MiB default)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "coordinator: lease lifetime without renewal before cells are reclaimed")
+	leaseBatch := flag.Int("lease-batch", 4, "coordinator: max cells per lease; worker: max cells requested per lease")
+	coordinator := flag.String("coordinator", "", "worker: coordinator base URL, e.g. http://127.0.0.1:8077")
+	workerName := flag.String("worker-name", "", "worker: label shown in GET /v1/workers and manifests")
+	poll := flag.Duration("poll", 200*time.Millisecond, "worker: sleep between lease attempts when the coordinator has no work")
+	parallel := flag.Int("parallel", 0, "worker: cell concurrency within a leased batch (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	// Counter aggregation is always on in the serving process — the
 	// /metrics endpoint is part of the API, and obs provably never
 	// perturbs results (TestObsDoesNotPerturbResults).
 	obs.SetEnabled(true)
+
+	switch *role {
+	case "worker":
+		runWorker(*coordinator, *workerName, *parallel, *leaseBatch, *poll)
+		return
+	case "standalone", "coordinator":
+	default:
+		log.Fatalf("serverd: unknown -role %q (standalone, coordinator or worker)", *role)
+	}
 
 	if *cacheSize <= 0 {
 		*cacheSize = -1 // Config treats 0 as "default"; the flag's 0 means off
@@ -72,6 +105,9 @@ func main() {
 		CacheSize:      *cacheSize,
 		TraceCap:       *traceCap,
 		MaxReplayBytes: *replayMax,
+		Coordinator:    *role == "coordinator",
+		LeaseTTL:       *leaseTTL,
+		LeaseBatch:     *leaseBatch,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -109,4 +145,33 @@ func main() {
 		log.Printf("serverd: shutdown: %v", err)
 	}
 	log.Printf("serverd: drained, exiting")
+}
+
+// runWorker is the -role worker main loop: register with the
+// coordinator and process leases until SIGTERM/SIGINT. The worker
+// holds no server state — killing it at any moment is safe, because
+// the coordinator reclaims its leases at their deadlines.
+func runWorker(coordinator, name string, parallel, maxCells int, poll time.Duration) {
+	if coordinator == "" {
+		log.Fatal("serverd: -role worker requires -coordinator URL")
+	}
+	w := &serve.Worker{
+		Coordinator: coordinator,
+		Registry:    experiments.Registry,
+		Name:        name,
+		Parallel:    parallel,
+		MaxCells:    maxCells,
+		Poll:        poll,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	// The worker line is load-bearing for the distsmoke harness, like
+	// the listener line above.
+	fmt.Printf("serverd worker polling %s\n", coordinator)
+	err := w.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		log.Printf("serverd worker %s: signal, exiting", w.ID())
+		return
+	}
+	log.Fatalf("serverd worker: %v", err)
 }

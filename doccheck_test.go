@@ -68,17 +68,19 @@ func TestPackageDocComments(t *testing.T) {
 }
 
 // TestAPIDocCoversRoutes requires API.md to document every route the
-// campaign server registers. serve.Routes() is the single source of
-// truth New registers handlers from, so a route added there without a
-// matching "## METHOD /path" section fails here — the wire contract
-// and its documentation cannot drift apart.
+// campaign server registers. serve.Routes() and
+// serve.CoordinatorRoutes() are the single sources of truth New
+// registers handlers from, so a route added there without a matching
+// "## METHOD /path" section fails here — the wire contract and its
+// documentation cannot drift apart.
 func TestAPIDocCoversRoutes(t *testing.T) {
 	data, err := os.ReadFile("API.md")
 	if err != nil {
 		t.Fatal(err)
 	}
 	doc := string(data)
-	for _, route := range serve.Routes() {
+	routes := append(serve.Routes(), serve.CoordinatorRoutes()...)
+	for _, route := range routes {
 		if !strings.Contains(doc, "## "+route) {
 			t.Errorf("API.md has no \"## %s\" section", route)
 		}

@@ -44,6 +44,45 @@ func Example() {
 	// 4 cells, attempts: 1
 }
 
+// ExamplePool shares one work-stealing worker set across several
+// campaigns: cells — not jobs — are the scheduling unit, so a small
+// grid never waits behind a large one, and the result is still
+// bit-identical to a serial Runner because each cell's seed derives
+// from its stable key.
+func ExamplePool() {
+	spec := campaign.Spec{
+		Name: "demo", Kind: campaign.KindAux, Seed: 7,
+		Cells: []campaign.Cell{{Key: "a"}, {Key: "b"}, {Key: "c"}, {Key: "d"}},
+		Exec: func(c campaign.Cell, seed int64) (any, error) {
+			return fmt.Sprintf("%s#%d", c.Key, seed&0xff), nil
+		},
+		Gather: func(results []any) any {
+			parts := make([]string, len(results))
+			for i, r := range results {
+				parts[i] = r.(string)
+			}
+			return strings.Join(parts, " ")
+		},
+	}
+
+	pool := campaign.NewPool(8)
+	defer pool.Close()
+
+	pooled, err := pool.Run(spec, campaign.RunOpts{})
+	if err != nil {
+		panic(err)
+	}
+	serial, err := campaign.Runner{Workers: 1}.Run(spec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pooled.Result == serial.Result)
+	fmt.Println(pooled.Workers, "pool workers,", len(pooled.Cells), "cells")
+	// Output:
+	// true
+	// 8 pool workers, 4 cells
+}
+
 // ExampleRegistry names specs and lists them in the stable sorted
 // order every user-facing listing (cmd/experiments -list, the serve
 // layer's /v1/specs) reports.

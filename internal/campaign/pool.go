@@ -1,0 +1,267 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"rhohammer/internal/obs"
+)
+
+// Pool is a shared work-stealing cell scheduler: one fixed set of
+// workers executing the cells of every campaign submitted to it,
+// concurrently. Where a Runner dedicates its whole worker pool to one
+// Spec, a Pool interleaves the cells of many Specs — the serving
+// layer's shard problem ("one large job serializes behind its shard
+// while the other shards idle") disappears because scheduling happens
+// at cell granularity.
+//
+// Each worker owns a deque. Submitting a run spreads its cells across
+// the deques round-robin; a worker pops work from the front of its own
+// deque and, when empty, steals the back half of the fullest deque
+// (steal-half keeps thieves and victims both busy without rebalancing
+// on every pop). Every cell is scheduled exactly once — moving between
+// deques never duplicates it.
+//
+// Determinism is inherited, not re-proved: a cell's seed derives from
+// its stable key (Spec.CellSeed), results land at the cell's index, and
+// Gather runs once after the last cell — so which worker ran a cell,
+// or whether it was stolen, cannot change result bytes. The pool
+// preserves the Runner's whole contract: per-cell retries, panic
+// recovery, OnCell notification, cooperative cancellation, and the
+// partial-grid error shape.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]poolItem // one per worker; owner pops front, thieves take the back half
+	next   int          // round-robin submission cursor
+	closed bool
+
+	workers int
+	wg      sync.WaitGroup
+}
+
+// poolItem is one scheduled cell: a run and an index into its grid.
+type poolItem struct {
+	run *poolRun
+	idx int
+}
+
+// poolRun is one campaign executing on the pool. results/stats entries
+// are written by exactly one worker each (per-index ownership); the
+// remaining counter and done channel are guarded by the pool mutex.
+type poolRun struct {
+	ctx     context.Context
+	spec    Spec
+	retries int
+	onCell  func(int, CellStat)
+
+	results   []any
+	stats     []CellStat
+	remaining int
+	done      chan struct{}
+}
+
+// RunOpts carries the per-run options a Pool accepts — the same knobs
+// Runner exposes as fields, minus Workers (the pool's size is fixed at
+// construction and shared by every run).
+type RunOpts struct {
+	// Retries is the per-cell retry budget (Runner.Retries).
+	Retries int
+	// OnCell, when non-nil, is invoked once per executed cell, from
+	// worker goroutines (Runner.OnCell).
+	OnCell func(index int, stat CellStat)
+}
+
+// NewPool starts a pool of the given size; workers <= 0 means
+// GOMAXPROCS. Close releases the workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		deques:  make([][]poolItem, workers),
+		workers: workers,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the pool's fixed worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers after the cells already queued have run.
+// Runs still waiting in RunContext complete normally first; submitting
+// after Close returns an error.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// Run executes every cell of the spec on the pool and gathers the
+// results, with Runner.Run's exact error contract.
+func (p *Pool) Run(s Spec, opts RunOpts) (*Outcome, error) {
+	return p.RunContext(context.Background(), s, opts)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// cancelled, this run's still-queued cells are withdrawn from the
+// deques (recording ctx's error as their stat), cells already executing
+// finish, and the call returns once nothing of the run remains in
+// flight. Other runs sharing the pool are unaffected.
+func (p *Pool) RunContext(ctx context.Context, s Spec, opts RunOpts) (*Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(s.Cells)
+	run := &poolRun{
+		ctx:     ctx,
+		spec:    s,
+		retries: opts.Retries,
+		onCell:  opts.OnCell,
+
+		results:   make([]any, n),
+		stats:     make([]CellStat, n),
+		remaining: n,
+		done:      make(chan struct{}),
+	}
+	start := time.Now()
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errors.New("campaign: pool is closed")
+	}
+	if n == 0 {
+		close(run.done)
+	}
+	for i := 0; i < n; i++ {
+		w := (p.next + i) % p.workers
+		p.deques[w] = append(p.deques[w], poolItem{run: run, idx: i})
+	}
+	p.next = (p.next + n) % p.workers
+	p.mu.Unlock()
+	p.cond.Broadcast()
+
+	select {
+	case <-run.done:
+	case <-ctx.Done():
+		p.withdraw(run)
+		<-run.done
+	}
+	return assembleOutcome(s, p.workers, time.Since(start), run.results, run.stats)
+}
+
+// withdraw removes a cancelled run's still-queued cells from every
+// deque, recording the context error as their stat. Cells a worker has
+// already popped are left to finish (the worker records them itself).
+func (p *Pool) withdraw(run *poolRun) {
+	err := run.ctx.Err()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for w := range p.deques {
+		kept := p.deques[w][:0]
+		for _, it := range p.deques[w] {
+			if it.run != run {
+				kept = append(kept, it)
+				continue
+			}
+			c := run.spec.Cells[it.idx]
+			run.stats[it.idx] = CellStat{Key: c.Key, Seed: run.spec.CellSeed(c.Key), Err: err.Error()}
+			p.finishItemLocked(run)
+		}
+		p.deques[w] = kept
+	}
+}
+
+// finishItemLocked marks one cell of a run handled, closing done on the
+// last. Caller holds p.mu.
+func (p *Pool) finishItemLocked(run *poolRun) {
+	run.remaining--
+	if run.remaining == 0 {
+		close(run.done)
+	}
+}
+
+// worker is one pool goroutine: pop own deque, steal when empty, exit
+// when the pool is closed and no work remains anywhere.
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.deques[id]) == 0 {
+			if p.stealLocked(id) {
+				break
+			}
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+		}
+		item := p.deques[id][0]
+		p.deques[id] = p.deques[id][1:]
+		p.mu.Unlock()
+
+		p.execute(item)
+	}
+}
+
+// stealLocked moves the back half (round up) of the fullest other deque
+// onto this worker's deque. Returns whether anything was stolen. Caller
+// holds p.mu.
+func (p *Pool) stealLocked(id int) bool {
+	victim, max := -1, 0
+	for w := range p.deques {
+		if w != id && len(p.deques[w]) > max {
+			victim, max = w, len(p.deques[w])
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	take := (max + 1) / 2
+	keep := max - take
+	p.deques[id] = append(p.deques[id], p.deques[victim][keep:]...)
+	p.deques[victim] = p.deques[victim][:keep]
+	if obs.Enabled() {
+		obs.CampaignSteals.Inc()
+		obs.CampaignStolenCells.Add(int64(take))
+	}
+	// The thief now holds more than one item; wake siblings so a chain
+	// of steals can fan freshly submitted work across the pool.
+	if take > 1 {
+		p.cond.Broadcast()
+	}
+	return true
+}
+
+// execute runs one popped cell: cancelled runs record the context error
+// without executing, everything else goes through the shared
+// runCellAttempts (retries, panic recovery, timing).
+func (p *Pool) execute(it poolItem) {
+	run := it.run
+	if err := run.ctx.Err(); err != nil {
+		c := run.spec.Cells[it.idx]
+		run.stats[it.idx] = CellStat{Key: c.Key, Seed: run.spec.CellSeed(c.Key), Err: err.Error()}
+	} else {
+		result, stat := runCellAttempts(run.ctx, run.spec, it.idx, run.retries)
+		run.results[it.idx] = result
+		run.stats[it.idx] = stat
+		if run.onCell != nil {
+			run.onCell(it.idx, stat)
+		}
+	}
+	p.mu.Lock()
+	p.finishItemLocked(run)
+	p.mu.Unlock()
+}

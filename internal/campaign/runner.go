@@ -167,12 +167,31 @@ func (r Runner) RunContext(ctx context.Context, s Spec) (*Outcome, error) {
 		}
 	}
 
+	return assembleOutcome(s, workers, time.Since(start), results, stats)
+}
+
+// AssembleOutcome builds an Outcome from index-ordered results and
+// stats that were executed elsewhere — the distributed coordinator's
+// merge step (internal/serve) feeds it cells completed on worker
+// nodes. Semantics are exactly the Runner's tail: per-cell errors are
+// joined (Gather never runs on a partial grid), busy/retry accounting
+// and the obs campaign counters are identical, so an Outcome assembled
+// from remote cells is indistinguishable from a local run.
+func AssembleOutcome(s Spec, workers int, wall time.Duration, results []any, stats []CellStat) (*Outcome, error) {
+	return assembleOutcome(s, workers, wall, results, stats)
+}
+
+// assembleOutcome builds the Outcome shared by Runner and Pool from the
+// index-ordered results and stats: joined per-cell errors (Gather is
+// never run on a partial grid), busy/retry accounting, and the obs
+// campaign counters.
+func assembleOutcome(s Spec, workers int, wall time.Duration, results []any, stats []CellStat) (*Outcome, error) {
 	out := &Outcome{
 		Name:    s.Name,
 		Workers: workers,
 		Results: results,
 		Cells:   stats,
-		Wall:    time.Since(start),
+		Wall:    wall,
 	}
 	var errs []error
 	var retries int64
@@ -184,7 +203,7 @@ func (r Runner) RunContext(ctx context.Context, s Spec) (*Outcome, error) {
 		}
 	}
 	if obs.Enabled() {
-		obs.CampaignCells.Add(int64(n))
+		obs.CampaignCells.Add(int64(len(stats)))
 		obs.CampaignFailures.Add(int64(len(errs)))
 		obs.CampaignRetries.Add(retries)
 		obs.CampaignBusyNS.Add(int64(out.Busy))
@@ -209,18 +228,24 @@ func (r Runner) notify(i int, stat CellStat) {
 	}
 }
 
-// runCell executes one cell (with the runner's retry budget), timing it
+// runCell executes one cell with the runner's retry budget.
+func (r Runner) runCell(ctx context.Context, s Spec, i int) (any, CellStat) {
+	return runCellAttempts(ctx, s, i, r.Retries)
+}
+
+// runCellAttempts executes one cell (with a retry budget), timing it
 // and converting a panic into an error so a failing cell reports its
 // key instead of killing the process from a worker goroutine. A
 // cancelled context stops the retry loop between attempts but never
-// interrupts an attempt in flight.
-func (r Runner) runCell(ctx context.Context, s Spec, i int) (any, CellStat) {
+// interrupts an attempt in flight. Shared by Runner and Pool, so both
+// schedulers have identical per-cell semantics.
+func runCellAttempts(ctx context.Context, s Spec, i, retries int) (any, CellStat) {
 	c := s.Cells[i]
 	stat := CellStat{Key: c.Key, Seed: s.CellSeed(c.Key)}
 	t0 := time.Now()
 	var result any
 	var err error
-	for attempt := 0; attempt <= r.Retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		stat.Attempts++
 		result, err = execCell(s, c, stat.Seed)
 		if err == nil {

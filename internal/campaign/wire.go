@@ -1,0 +1,65 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Wire codec for per-cell results. The distributed fabric (see
+// SCALING.md) executes cells on worker nodes and gathers on the
+// coordinator, so the `any` a Spec.Exec returns must round-trip
+// losslessly — Gather runs on the decoded values and its output feeds
+// the canonical envelope, so any codec lossiness would break node-count
+// byte-equality. JSON cannot do this (concrete types erase to
+// map[string]any; array-keyed maps don't marshal at all), so cells
+// travel as gob with every concrete result type registered up front via
+// RegisterResultType.
+//
+// The value is wrapped in a single-field struct so interface-typed nils
+// and primitive values encode uniformly; gob's type registry (seeded by
+// RegisterResultType from the experiments package's init) recovers the
+// concrete type on decode.
+
+// wireCell is the envelope gob actually encodes: a struct wrapper so
+// the interface value's concrete type travels with it.
+type wireCell struct {
+	Result any
+}
+
+// Primitive cell results (ad-hoc and test specs) are wire-safe out of
+// the box; experiment structs register in internal/experiments/wire.go.
+func init() {
+	for _, v := range []any{"", int(0), int64(0), float64(0), false, []any(nil), map[string]any(nil)} {
+		gob.Register(v)
+	}
+}
+
+// RegisterResultType registers a concrete cell-result type with the
+// wire codec. Every type a registered Spec.Exec can return must be
+// registered (in an init function) before cells cross the wire;
+// EncodeResult fails loudly otherwise. The zero value's concrete type
+// is what's registered, so pass e.g. MyRow{} or (*MyResult)(nil).
+func RegisterResultType(v any) {
+	gob.Register(v)
+}
+
+// EncodeResult serializes one cell result for the wire.
+func EncodeResult(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireCell{Result: v}); err != nil {
+		return nil, fmt.Errorf("campaign: encode cell result (%T): %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResult recovers a cell result encoded by EncodeResult. The
+// concrete type must have been registered with RegisterResultType in
+// this process too.
+func DecodeResult(data []byte) (any, error) {
+	var w wireCell
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("campaign: decode cell result: %w", err)
+	}
+	return w.Result, nil
+}

@@ -62,13 +62,14 @@ type Fig4Result struct {
 	Thres  []float64
 }
 
-// fig4ArchMap is one architecture's heatmap — the per-cell result the
-// gather step assembles into a Fig4Result.
-type fig4ArchMap struct {
-	arch   string
-	bits   []uint
-	matrix map[[2]uint]float64
-	thres  float64
+// Fig4ArchMap is one architecture's heatmap — the per-cell result the
+// gather step assembles into a Fig4Result. Fields are exported so the
+// distributed fabric's gob codec can carry it over the wire.
+type Fig4ArchMap struct {
+	Arch   string
+	Bits   []uint
+	Matrix map[[2]uint]float64
+	Thres  float64
 }
 
 // Fig4 measures T_SBDR(M, {bx, by}) for all bit pairs on the
@@ -113,15 +114,15 @@ func fig4Spec(cfg Config) campaign.Spec {
 					}
 				}
 			}
-			return fig4ArchMap{arch: c.Arch.Name, bits: bits, matrix: m, thres: thres.Threshold}, nil
+			return Fig4ArchMap{Arch: c.Arch.Name, Bits: bits, Matrix: m, Thres: thres.Threshold}, nil
 		},
 		Gather: func(rs []any) any {
 			out := &Fig4Result{}
-			for _, am := range gather[fig4ArchMap](rs) {
-				out.Archs = append(out.Archs, am.arch)
-				out.Bits = am.bits
-				out.Matrix = append(out.Matrix, am.matrix)
-				out.Thres = append(out.Thres, am.thres)
+			for _, am := range gather[Fig4ArchMap](rs) {
+				out.Archs = append(out.Archs, am.Arch)
+				out.Bits = am.Bits
+				out.Matrix = append(out.Matrix, am.Matrix)
+				out.Thres = append(out.Thres, am.Thres)
 			}
 			return out
 		},

@@ -1,0 +1,37 @@
+package experiments
+
+import "rhohammer/internal/campaign"
+
+// Wire registration for the distributed fabric: every concrete type a
+// registered Spec.Exec can return is registered with the campaign gob
+// codec here, so worker nodes can ship per-cell results back to the
+// coordinator losslessly (see SCALING.md). TestWireRoundTripsEverySpec
+// pins this list against the registry — a new spec whose cell type is
+// missing here fails that test, not a production lease.
+func init() {
+	for _, v := range []any{
+		// Single-cell campaigns return their full result as the one cell.
+		(*Table1Result)(nil),
+		(*Table2Result)(nil),
+		(*Fig3Result)(nil),
+		(*Fig10Result)(nil),
+		// Grid campaigns return one row/point/cell per campaign cell.
+		Fig4ArchMap{},
+		Fig6Cell{},
+		Fig8Point{},
+		Fig9Cell{},
+		Fig11Series{},
+		Table3Row{},
+		Table4Row{},
+		Table5Cell{},
+		Table6Cell{},
+		ChainRow{},
+		E2ERow{},
+		MitigationRow{},
+		AblationRow{},
+		SamplerAblationRow{},
+		ReplayRoundTripRow{},
+	} {
+		campaign.RegisterResultType(v)
+	}
+}

@@ -29,7 +29,19 @@ type Manifest struct {
 	Workers int     `json:"workers"`
 
 	Runs     []RunRecord      `json:"runs"`
+	Nodes    []NodeRecord     `json:"nodes,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// NodeRecord is one worker node's contribution to a distributed run
+// (serve's coordinator mode): how many cells it completed across how
+// many leases. Placement is pure scheduling noise — the canonical
+// envelope is identical however cells land on nodes — so node records
+// live only here, in the as-executed manifest.
+type NodeRecord struct {
+	Name   string `json:"name"`
+	Leases int    `json:"leases,omitempty"`
+	Cells  int    `json:"cells,omitempty"`
 }
 
 // RunRecord is one campaign execution within the run.
@@ -50,6 +62,9 @@ type CellRecord struct {
 	WallNS   int64  `json:"wall_ns"`
 	Attempts int    `json:"attempts,omitempty"`
 	Err      string `json:"error,omitempty"`
+	// Node names the worker that ran the cell in a distributed run
+	// (empty for local execution).
+	Node string `json:"node,omitempty"`
 }
 
 // NewManifest fills the build-identity fields for the named tool.

@@ -229,4 +229,16 @@ var (
 	CampaignRetries  = Default.Counter("rhohammer_campaign_cell_retries_total")
 	CampaignBusyNS   = Default.Counter("rhohammer_campaign_busy_ns_total")
 	CampaignWallNS   = Default.Counter("rhohammer_campaign_wall_ns_total")
+
+	// Work-stealing pool (campaign.Pool): steal events and cells moved.
+	CampaignSteals      = Default.Counter("rhohammer_campaign_steals_total")
+	CampaignStolenCells = Default.Counter("rhohammer_campaign_stolen_cells_total")
+
+	// Distributed fabric (serve coordinator): lease grants/renewals/
+	// completions and deadline-based reclaims of expired leases.
+	LeaseGrants      = Default.Counter("rhohammer_lease_grants_total")
+	LeaseRenewals    = Default.Counter("rhohammer_lease_renewals_total")
+	LeaseCompletions = Default.Counter("rhohammer_lease_completions_total")
+	LeaseReclaims    = Default.Counter("rhohammer_lease_reclaims_total")
+	LeaseCellsLeased = Default.Counter("rhohammer_lease_cells_leased_total")
 )

@@ -53,6 +53,10 @@ type Job struct {
 	// never queued.
 	cacheable bool
 	cached    bool
+	// distributable marks jobs a coordinator may lease to worker nodes:
+	// registered specs only, since a worker rebuilds the spec from
+	// (name, seed, scale) against its own registry.
+	distributable bool
 
 	created  time.Time
 	started  time.Time
@@ -60,6 +64,10 @@ type Job struct {
 
 	spec      campaign.Spec
 	cellsDone int
+	// cellNodes is index-aligned with spec.Cells for distributed jobs:
+	// the worker ID that completed each cell ("" until then, and for
+	// locally executed jobs it stays nil).
+	cellNodes []string
 	// cellStats is index-aligned with spec.Cells. Key and Seed are
 	// prefilled at admission (both are pure functions of the spec), so
 	// the status endpoint can show the full grid with per-cell progress

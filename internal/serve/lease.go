@@ -1,0 +1,506 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rhohammer/internal/campaign"
+	"rhohammer/internal/obs"
+)
+
+// Coordinator mode: the distributed campaign fabric's control plane
+// (SCALING.md is the design document, API.md the wire contract).
+//
+// A coordinator does not execute registered-spec cells itself. Each
+// distributable job's cells enter a pending queue; worker nodes lease
+// batches of them (POST /v1/leases), execute them locally with the
+// exact per-cell seeds the coordinator derives, and post back
+// gob-encoded results (POST /v1/leases/{id}/complete). Leases carry a
+// deadline: a worker that stops renewing (crash, partition) forfeits
+// its lease and the cells return to the pending queue for re-lease —
+// work is re-run, never lost, and because cell seeds derive from
+// stable keys the re-run is bit-identical to what the dead worker
+// would have produced. The coordinator gathers completed cells through
+// campaign.AssembleOutcome, the same merge the in-process schedulers
+// use, so the canonical envelope is byte-identical to a standalone run
+// at any node count.
+
+// Lease-layer counters (cold path, unconditional like the serve ones).
+var (
+	leaseExpired = obs.Default.Counter("rhohammer_lease_expired_completions_total")
+)
+
+// CoordinatorRoutes returns the additional route patterns a
+// coordinator-mode server registers, in API.md order. The doccheck
+// suite pins that API.md documents each of them, exactly like Routes.
+func CoordinatorRoutes() []string {
+	return []string{
+		"POST /v1/workers",
+		"GET /v1/workers",
+		"POST /v1/leases",
+		"POST /v1/leases/{id}/renew",
+		"POST /v1/leases/{id}/complete",
+	}
+}
+
+// distJob is one job executing on the fabric. All fields are guarded
+// by the owning Server's mutex except results/stats/nodes entries,
+// which are written once each (per-index ownership, like the Pool's).
+type distJob struct {
+	job     *Job
+	spec    campaign.Spec
+	pending []int // cell indices awaiting lease; front is next out
+
+	results []any
+	stats   []campaign.CellStat
+	nodes   []string // per-cell worker ID, "" until completed
+
+	remaining int
+	finished  chan struct{}
+	canceled  bool
+}
+
+// lease is one outstanding batch of cells granted to a worker.
+type lease struct {
+	id      string
+	dj      *distJob
+	worker  string
+	cells   []int
+	expires time.Time
+}
+
+// workerInfo is the coordinator's view of one registered worker.
+type workerInfo struct {
+	id         string
+	name       string
+	registered time.Time
+	lastSeen   time.Time
+	leases     int // leases ever granted
+	cells      int // cells completed
+}
+
+// registerRequest is the POST /v1/workers body.
+type registerRequest struct {
+	// Name is a human-readable label for listings and manifests; the
+	// coordinator assigns the authoritative worker ID.
+	Name string `json:"name,omitempty"`
+}
+
+// registerResponse is the POST /v1/workers success body. The worker
+// adopts the coordinator's lease TTL so both sides agree on deadlines.
+type registerResponse struct {
+	ID         string `json:"id"`
+	LeaseTTLNS int64  `json:"lease_ttl_ns"`
+}
+
+// workerStatus is one GET /v1/workers entry.
+type workerStatus struct {
+	ID         string `json:"id"`
+	Name       string `json:"name,omitempty"`
+	Registered string `json:"registered"`
+	LastSeen   string `json:"last_seen"`
+	Leases     int    `json:"leases"`
+	Cells      int    `json:"cells_completed"`
+}
+
+// leaseCell is one cell of a lease grant: the index into the spec's
+// grid and the stable key the worker must verify before executing.
+type leaseCell struct {
+	Index int    `json:"index"`
+	Key   string `json:"key"`
+}
+
+// acquireRequest is the POST /v1/leases body.
+type acquireRequest struct {
+	Worker string `json:"worker"`
+	// MaxCells caps the batch; 0 means the coordinator's default. The
+	// grant never exceeds the coordinator's own batch bound.
+	MaxCells int `json:"max_cells,omitempty"`
+}
+
+// leaseGrant is the POST /v1/leases success body: everything a worker
+// needs to rebuild the sub-grid locally — the registered spec name plus
+// seed and scale reproduce the exact Spec, and each cell's key pins its
+// derived seed.
+type leaseGrant struct {
+	LeaseID  string      `json:"lease_id"`
+	JobID    string      `json:"job_id"`
+	Spec     string      `json:"spec"`
+	Seed     int64       `json:"seed"`
+	Scale    float64     `json:"scale"`
+	TTLNS    int64       `json:"ttl_ns"`
+	Deadline string      `json:"deadline"`
+	Cells    []leaseCell `json:"cells"`
+}
+
+// renewResponse is the POST /v1/leases/{id}/renew success body.
+type renewResponse struct {
+	Deadline string `json:"deadline"`
+}
+
+// completedCell is one executed cell in a completion body. Result is
+// the campaign gob wire encoding (base64 in JSON); Stat carries the
+// worker-side attempt/timing/error record.
+type completedCell struct {
+	Index  int               `json:"index"`
+	Key    string            `json:"key"`
+	Result []byte            `json:"result,omitempty"`
+	Stat   campaign.CellStat `json:"stat"`
+}
+
+// completeRequest is the POST /v1/leases/{id}/complete body.
+type completeRequest struct {
+	Worker string          `json:"worker"`
+	Cells  []completedCell `json:"cells"`
+}
+
+// runDistributed executes one job through the lease fabric: cells go
+// to the pending queue, workers drain it, and the completed grid is
+// merged by the same AssembleOutcome the local schedulers use.
+func (s *Server) runDistributed(ctx context.Context, j *Job) (*campaign.Outcome, error) {
+	n := len(j.spec.Cells)
+	dj := &distJob{
+		job:       j,
+		spec:      j.spec,
+		results:   make([]any, n),
+		stats:     make([]campaign.CellStat, n),
+		nodes:     make([]string, n),
+		remaining: n,
+		finished:  make(chan struct{}),
+	}
+	for i, c := range j.spec.Cells {
+		dj.pending = append(dj.pending, i)
+		dj.stats[i] = campaign.CellStat{Key: c.Key, Seed: j.spec.CellSeed(c.Key)}
+	}
+	start := time.Now()
+
+	s.mu.Lock()
+	if n == 0 {
+		close(dj.finished)
+	}
+	j.cellNodes = dj.nodes // manifest records per-cell placement
+	s.distQueue = append(s.distQueue, dj)
+	s.mu.Unlock()
+
+	select {
+	case <-dj.finished:
+	case <-ctx.Done():
+		s.cancelDist(dj)
+		<-dj.finished
+	}
+
+	s.mu.Lock()
+	for i, q := range s.distQueue {
+		if q == dj {
+			s.distQueue = append(s.distQueue[:i], s.distQueue[i+1:]...)
+			break
+		}
+	}
+	workers := map[string]bool{}
+	for _, node := range dj.nodes {
+		if node != "" {
+			workers[node] = true
+		}
+	}
+	s.mu.Unlock()
+
+	nodeCount := len(workers)
+	if nodeCount == 0 {
+		nodeCount = 1
+	}
+	return campaign.AssembleOutcome(j.spec, nodeCount, time.Since(start), dj.results, dj.stats)
+}
+
+// cancelDist withdraws a cancelled job's unfinished cells from the
+// fabric: pending cells and outstanding leases both record the context
+// error, and the leases are revoked so late completions get 410.
+func (s *Server) cancelDist(dj *distJob) {
+	errText := context.Canceled.Error()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dj.canceled {
+		return
+	}
+	dj.canceled = true
+	for _, idx := range dj.pending {
+		dj.stats[idx].Err = errText
+		s.finishDistCellLocked(dj)
+	}
+	dj.pending = nil
+	for id, l := range s.leases {
+		if l.dj != dj {
+			continue
+		}
+		for _, idx := range l.cells {
+			dj.stats[idx].Err = errText
+			s.finishDistCellLocked(dj)
+		}
+		delete(s.leases, id)
+	}
+}
+
+// finishDistCellLocked marks one cell of a distributed job handled,
+// closing finished on the last. Caller holds s.mu.
+func (s *Server) finishDistCellLocked(dj *distJob) {
+	dj.remaining--
+	if dj.remaining == 0 {
+		close(dj.finished)
+	}
+}
+
+// reclaimExpiredLocked returns every expired lease's cells to their
+// job's pending queue for re-lease. Deadline-based reclaim is the
+// fabric's whole failure story: a worker that dies mid-lease simply
+// stops renewing, and its cells are re-run elsewhere with the same
+// derived seeds — byte-identical results, nothing lost. Caller holds
+// s.mu.
+func (s *Server) reclaimExpiredLocked(now time.Time) {
+	for id, l := range s.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(s.leases, id)
+		if l.dj.canceled {
+			continue
+		}
+		l.dj.pending = append(l.dj.pending, l.cells...)
+		obs.LeaseReclaims.Inc()
+	}
+}
+
+// janitor periodically reclaims expired leases so re-lease does not
+// wait for the next worker call. It runs until the server finishes
+// draining — reclaim must stay live while distributed jobs drain, or a
+// dead worker would wedge Drain forever.
+func (s *Server) janitor(period time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			s.reclaimExpiredLocked(time.Now())
+			s.mu.Unlock()
+		case <-stop:
+			return
+		}
+	}
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid register request: " + err.Error()})
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.workerSeq++
+	info := &workerInfo{
+		id:         fmt.Sprintf("w-%03d", s.workerSeq),
+		name:       req.Name,
+		registered: now,
+		lastSeen:   now,
+	}
+	s.workers[info.id] = info
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, registerResponse{ID: info.id, LeaseTTLNS: int64(s.cfg.LeaseTTL)})
+}
+
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]workerStatus, 0, len(s.workers))
+	for _, info := range s.workers {
+		out = append(out, workerStatus{
+			ID:         info.id,
+			Name:       info.name,
+			Registered: info.registered.UTC().Format(time.RFC3339Nano),
+			LastSeen:   info.lastSeen.UTC().Format(time.RFC3339Nano),
+			Leases:     info.leases,
+			Cells:      info.cells,
+		})
+	}
+	s.mu.Unlock()
+	// Stable listing order for clients and tests.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].ID < out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
+	var req acquireRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid lease request: " + err.Error()})
+		return
+	}
+	if req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "\"worker\" is required (POST /v1/workers first)"})
+		return
+	}
+	batch := req.MaxCells
+	if batch <= 0 || batch > s.cfg.LeaseBatch {
+		batch = s.cfg.LeaseBatch
+	}
+	now := time.Now()
+
+	s.mu.Lock()
+	if info := s.workers[req.Worker]; info != nil {
+		info.lastSeen = now
+	}
+	s.reclaimExpiredLocked(now)
+	var dj *distJob
+	for _, q := range s.distQueue {
+		if !q.canceled && len(q.pending) > 0 {
+			dj = q
+			break
+		}
+	}
+	if dj == nil {
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if batch > len(dj.pending) {
+		batch = len(dj.pending)
+	}
+	cells := make([]int, batch)
+	copy(cells, dj.pending[:batch])
+	dj.pending = dj.pending[batch:]
+	s.leaseSeq++
+	l := &lease{
+		id:      fmt.Sprintf("lease-%06d", s.leaseSeq),
+		dj:      dj,
+		worker:  req.Worker,
+		cells:   cells,
+		expires: now.Add(s.cfg.LeaseTTL),
+	}
+	s.leases[l.id] = l
+	if info := s.workers[req.Worker]; info != nil {
+		info.leases++
+	}
+	grant := leaseGrant{
+		LeaseID:  l.id,
+		JobID:    dj.job.ID,
+		Spec:     dj.job.SpecName,
+		Seed:     dj.job.Seed,
+		Scale:    dj.job.Scale,
+		TTLNS:    int64(s.cfg.LeaseTTL),
+		Deadline: l.expires.UTC().Format(time.RFC3339Nano),
+	}
+	for _, idx := range cells {
+		grant.Cells = append(grant.Cells, leaseCell{Index: idx, Key: dj.spec.Cells[idx].Key})
+	}
+	s.mu.Unlock()
+
+	obs.LeaseGrants.Inc()
+	obs.LeaseCellsLeased.Add(int64(len(cells)))
+	writeJSON(w, http.StatusCreated, grant)
+}
+
+func (s *Server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	now := time.Now()
+	s.mu.Lock()
+	s.reclaimExpiredLocked(now)
+	l := s.leases[id]
+	if l == nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusGone, apiError{Error: "lease expired or unknown; its cells may have been re-leased"})
+		return
+	}
+	l.expires = now.Add(s.cfg.LeaseTTL)
+	if info := s.workers[l.worker]; info != nil {
+		info.lastSeen = now
+	}
+	deadline := l.expires
+	s.mu.Unlock()
+	obs.LeaseRenewals.Inc()
+	writeJSON(w, http.StatusOK, renewResponse{Deadline: deadline.UTC().Format(time.RFC3339Nano)})
+}
+
+func (s *Server) handleLeaseComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req completeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid completion: " + err.Error()})
+		return
+	}
+	// Decode the gob payloads before taking the server mutex: result
+	// blobs can be large and decode cost must not serialize the API.
+	decoded := make([]any, len(req.Cells))
+	for i, c := range req.Cells {
+		if c.Stat.Err != "" || len(c.Result) == 0 {
+			continue
+		}
+		v, err := campaign.DecodeResult(c.Result)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("cell %s: %v", c.Key, err)})
+			return
+		}
+		decoded[i] = v
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	s.reclaimExpiredLocked(now)
+	l := s.leases[id]
+	if l == nil {
+		s.mu.Unlock()
+		leaseExpired.Inc()
+		writeJSON(w, http.StatusGone, apiError{Error: "lease expired or unknown; results discarded (cells will be re-run elsewhere, byte-identically)"})
+		return
+	}
+	delete(s.leases, id)
+	dj := l.dj
+	if dj.canceled {
+		// The job was cancelled while this batch executed; nothing to
+		// record, the cells were already accounted for.
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]string{"status": "discarded (job canceled)"})
+		return
+	}
+	leased := map[int]bool{}
+	for _, idx := range l.cells {
+		leased[idx] = true
+	}
+	accepted := 0
+	for i, c := range req.Cells {
+		if !leased[c.Index] || c.Index >= len(dj.spec.Cells) || dj.spec.Cells[c.Index].Key != c.Key {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("cell %d/%s was not part of lease %s", c.Index, c.Key, id)})
+			return
+		}
+		delete(leased, c.Index)
+		dj.results[c.Index] = decoded[i]
+		dj.stats[c.Index] = c.Stat
+		dj.nodes[c.Index] = req.Worker
+		dj.job.cellStats[c.Index] = c.Stat
+		dj.job.cellsDone++
+		accepted++
+		s.finishDistCellLocked(dj)
+	}
+	// Cells the worker leased but did not report go straight back to
+	// pending (a worker may return a partial batch after an error).
+	for idx := range leased {
+		dj.pending = append(dj.pending, idx)
+	}
+	if info := s.workers[req.Worker]; info != nil {
+		info.lastSeen = now
+		info.cells += accepted
+	}
+	s.mu.Unlock()
+	obs.LeaseCompletions.Inc()
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted})
+}

@@ -31,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -92,6 +94,26 @@ type Config struct {
 	// MaxReplayBytes bounds the POST /v1/replay request body. Default
 	// 4 MiB.
 	MaxReplayBytes int64
+	// CellWorkers sizes the shared work-stealing cell pool that runs
+	// jobs submitted without an explicit parallel value: cells from all
+	// such jobs interleave on one campaign.Pool, so a small grid never
+	// serializes behind a large one. Jobs with parallel > 0 keep a
+	// dedicated per-job runner. Default Shards×GOMAXPROCS (the same
+	// total capacity the dedicated runners had); negative disables the
+	// pool (every job gets a dedicated runner, the pre-fabric behavior).
+	CellWorkers int
+	// Coordinator enables the distributed control plane (SCALING.md):
+	// the lease routes are registered, and registered-spec jobs execute
+	// on worker nodes instead of locally — the coordinator derives the
+	// cell seeds, leases batches of cells out, and merges the completed
+	// grid into the same canonical envelope a standalone server
+	// produces. Inline and replay jobs still run locally.
+	Coordinator bool
+	// LeaseTTL is how long a granted lease lives without a renewal
+	// before its cells are reclaimed and re-leased. Default 10s.
+	LeaseTTL time.Duration
+	// LeaseBatch caps the cells granted per lease. Default 4.
+	LeaseBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +138,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxReplayBytes == 0 {
 		c.MaxReplayBytes = 4 << 20
 	}
+	if c.CellWorkers == 0 {
+		c.CellWorkers = c.Shards * runtime.GOMAXPROCS(0)
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.LeaseBatch <= 0 {
+		c.LeaseBatch = 4
+	}
 	return c
 }
 
@@ -132,6 +163,18 @@ type Server struct {
 	draining bool
 	queue    chan *Job
 	cache    *resultCache // nil when caching is disabled
+
+	// pool is the shared work-stealing cell scheduler for jobs without
+	// an explicit parallel value; nil when CellWorkers < 0.
+	pool *campaign.Pool
+
+	// Coordinator-mode state (lease.go), guarded by mu.
+	distQueue   []*distJob
+	leases      map[string]*lease
+	workers     map[string]*workerInfo
+	leaseSeq    int
+	workerSeq   int
+	janitorStop chan struct{}
 
 	// queued/running are atomics, not mu-guarded fields: the /metrics
 	// gauges read them from inside the obs registry's snapshot lock,
@@ -197,6 +240,29 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.mux.HandleFunc(pattern, h)
 	}
+	if cfg.CellWorkers > 0 {
+		s.pool = campaign.NewPool(cfg.CellWorkers)
+	}
+	if cfg.Coordinator {
+		s.leases = map[string]*lease{}
+		s.workers = map[string]*workerInfo{}
+		s.janitorStop = make(chan struct{})
+		coordHandlers := map[string]http.HandlerFunc{
+			"POST /v1/workers":              s.handleWorkerRegister,
+			"GET /v1/workers":               s.handleWorkerList,
+			"POST /v1/leases":               s.handleLeaseAcquire,
+			"POST /v1/leases/{id}/renew":    s.handleLeaseRenew,
+			"POST /v1/leases/{id}/complete": s.handleLeaseComplete,
+		}
+		for _, pattern := range CoordinatorRoutes() {
+			h, ok := coordHandlers[pattern]
+			if !ok {
+				return nil, fmt.Errorf("serve: coordinator route %q has no handler", pattern)
+			}
+			s.mux.HandleFunc(pattern, h)
+		}
+		go s.janitor(cfg.LeaseTTL/2, s.janitorStop)
+	}
 	obs.Default.Gauge("rhohammer_serve_queue_depth", s.queued.Load)
 	obs.Default.Gauge("rhohammer_serve_jobs_running", s.running.Load)
 	for i := 0; i < cfg.Shards; i++ {
@@ -231,6 +297,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-finished:
+		s.stopSchedulers()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -244,7 +311,26 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-finished
+		s.stopSchedulers()
 		return ctx.Err()
+	}
+}
+
+// stopSchedulers releases the shared cell pool and the lease janitor
+// once every admitted job is terminal. Idempotent (Drain can be called
+// repeatedly); the janitor must outlive the drain itself so expired
+// leases from dead workers keep being reclaimed while distributed jobs
+// finish.
+func (s *Server) stopSchedulers() {
+	s.mu.Lock()
+	stop := s.janitorStop
+	s.janitorStop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	if s.pool != nil {
+		s.pool.Close()
 	}
 }
 
@@ -275,12 +361,18 @@ func (s *Server) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.running.Add(1)
+	// Distributable jobs execute on worker nodes (lease.go); local
+	// execution uses the shared stealing pool unless the client pinned
+	// an explicit per-job parallelism. Neither choice can change result
+	// bytes — that is the package's determinism contract.
+	distributed := s.cfg.Coordinator && j.distributable
 	// Per-job trace capture: every cell seed is reserved before any cell
 	// runs, so the hammer sessions the campaign creates record into this
 	// job's rings regardless of global tracing state. The dump becomes
-	// GET /v1/jobs/{id}/trace.
+	// GET /v1/jobs/{id}/trace. Distributed jobs execute no local
+	// sessions, so there is nothing to capture.
 	var capt *obs.Capture
-	if s.cfg.TraceCap >= 0 {
+	if s.cfg.TraceCap >= 0 && !distributed {
 		capt = obs.NewCapture(s.cfg.TraceCap)
 		for _, cs := range j.cellStats {
 			capt.Reserve(cs.Seed)
@@ -289,16 +381,22 @@ func (s *Server) runJob(j *Job) {
 	s.mu.Unlock()
 	defer cancel()
 
-	runner := campaign.Runner{
-		Workers: j.Parallel,
-		OnCell: func(i int, stat campaign.CellStat) {
-			s.mu.Lock()
-			j.cellStats[i] = stat
-			j.cellsDone++
-			s.mu.Unlock()
-		},
+	onCell := func(i int, stat campaign.CellStat) {
+		s.mu.Lock()
+		j.cellStats[i] = stat
+		j.cellsDone++
+		s.mu.Unlock()
 	}
-	out, err := runner.RunContext(ctx, j.spec)
+	var out *campaign.Outcome
+	var err error
+	switch {
+	case distributed:
+		out, err = s.runDistributed(ctx, j)
+	case j.Parallel == 0 && s.pool != nil:
+		out, err = s.pool.RunContext(ctx, j.spec, campaign.RunOpts{OnCell: onCell})
+	default:
+		out, err = campaign.Runner{Workers: j.Parallel, OnCell: onCell}.RunContext(ctx, j.spec)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -386,14 +484,36 @@ func (s *Server) attachManifestLocked(j *Job, out *campaign.Outcome) {
 	if out != nil {
 		rec.WallNS = int64(out.Wall)
 		rec.Workers = out.Workers
-		for _, c := range out.Cells {
-			rec.Cells = append(rec.Cells, obs.CellRecord{
+		for i, c := range out.Cells {
+			cr := obs.CellRecord{
 				Key: c.Key, Seed: c.Seed, WallNS: int64(c.Wall),
 				Attempts: c.Attempts, Err: c.Err,
-			})
+			}
+			if i < len(j.cellNodes) {
+				cr.Node = j.cellNodes[i]
+			}
+			rec.Cells = append(rec.Cells, cr)
 		}
 	}
 	m.Runs = []obs.RunRecord{rec}
+	if len(j.cellNodes) > 0 {
+		// Distributed run: summarize per-node contribution (placement is
+		// scheduling noise, so it lives only in this as-executed record).
+		counts := map[string]int{}
+		for _, node := range j.cellNodes {
+			if node != "" {
+				counts[node]++
+			}
+		}
+		names := make([]string, 0, len(counts))
+		for name := range counts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m.Nodes = append(m.Nodes, obs.NodeRecord{Name: name, Cells: counts[name]})
+		}
+	}
 	if obs.Enabled() {
 		m.Counters = obs.Default.Values()
 	}
@@ -489,6 +609,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		spec:     spec,
 	}
 	j.cacheable = req.Inline == nil
+	// Only registry-built jobs can execute on worker nodes: a worker
+	// rebuilds the spec from (name, seed, scale) against its own
+	// registry, which inline grids and replay traces are absent from.
+	j.distributable = req.Inline == nil
 	j.cellStats = make([]campaign.CellStat, len(spec.Cells))
 	for i, c := range spec.Cells {
 		j.cellStats[i] = campaign.CellStat{Key: c.Key, Seed: spec.CellSeed(c.Key)}
