@@ -38,7 +38,7 @@ determinism:
 # route the campaign server registers. (vet is listed so `make
 # doccheck` stands alone as the docs gate; verify already runs it.)
 doccheck: vet
-	$(GO) test -run 'TestPackageDocComments|TestDocLinks|TestAPIDocCoversRoutes' .
+	$(GO) test -run 'TestPackageDocComments|TestDocLinks|TestAPIDocCoversRoutes|TestOperationsDocCoversMetrics' .
 
 verify: build vet test race determinism doccheck
 
@@ -83,7 +83,11 @@ servesmoke:
 # golden-pinned campaign, diffs the merged envelope against a
 # standalone serverd run byte for byte, checks the manifest records
 # both nodes, then SIGTERM-drains all three and requires clean exits.
-# Artifacts (envelopes, metrics, manifests) land in DISTSMOKE_OUT; CI
+# A second leg SIGKILLs a -store-dir coordinator mid-job and requires a
+# restarted process on the same address to resume from the journal and
+# produce the same bytes (OPERATIONS.md describes the recovery it
+# exercises). Artifacts (envelopes, metrics, manifests, the store
+# directory with its journal and snapshots) land in DISTSMOKE_OUT; CI
 # uploads them.
 distsmoke:
 	RHOHAMMER_DISTSMOKE=1 DISTSMOKE_OUT=$(abspath $(DISTSMOKE_OUT)) \

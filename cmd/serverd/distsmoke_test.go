@@ -188,6 +188,124 @@ func TestDistSmoke(t *testing.T) {
 	if err := json.Unmarshal(data, &onDisk); err != nil {
 		t.Fatalf("invalid manifest JSON on disk: %v", err)
 	}
+
+	// Kill/restart leg: a -store-dir coordinator is SIGKILLed mid-job —
+	// no drain, no shutdown hook, exactly what OPERATIONS.md calls a
+	// crash — and a fresh process on the same address and store
+	// directory must resume the job from its journaled cells, let the
+	// same (still-running, never-restarted) workers finish it, and
+	// serve an envelope byte-identical to the standalone run. The store
+	// directory lands in the artifacts dir so CI uploads the journal
+	// and snapshots alongside the envelopes.
+	storeDir := filepath.Join(artifacts, "store")
+	durable := startServerd(t, bin, listenPrefix,
+		"-role", "coordinator",
+		"-addr", "127.0.0.1:0",
+		"-store-dir", storeDir,
+		"-lease-ttl", "10s",
+		"-lease-batch", "1",
+		"-drain-timeout", "60s")
+	addr := strings.TrimPrefix(durable.base, "http://")
+	durWorkers := []*serverdProc{
+		startServerd(t, bin, workerPrefix,
+			"-role", "worker", "-coordinator", durable.base,
+			"-worker-name", "survivor-a", "-poll", "50ms", "-drain-grace", "30s"),
+		startServerd(t, bin, workerPrefix,
+			"-role", "worker", "-coordinator", durable.base,
+			"-worker-name", "survivor-b", "-poll", "50ms", "-drain-grace", "30s"),
+	}
+	waitForWorkers(t, durable.base, 2, 30*time.Second)
+
+	durJob := submitJob(t, durable.base, body)
+	waitCellsDone(t, durable.base, durJob, 2, 60*time.Second)
+	killServerd(t, durable, "durable coordinator")
+
+	restarted := startServerd(t, bin, listenPrefix,
+		"-role", "coordinator",
+		"-addr", addr,
+		"-store-dir", storeDir,
+		"-lease-ttl", "10s",
+		"-lease-batch", "1",
+		"-drain-timeout", "60s")
+	code, stData := httpGet(t, restarted.base+"/v1/jobs/"+durJob)
+	if code != http.StatusOK {
+		t.Fatalf("restarted coordinator does not know job %s: %d", durJob, code)
+	}
+	var recSt struct {
+		Persisted bool `json:"persisted"`
+		Recovered bool `json:"recovered"`
+		CellsDone int  `json:"cells_done"`
+	}
+	if err := json.Unmarshal(stData, &recSt); err != nil {
+		t.Fatal(err)
+	}
+	if !recSt.Persisted || !recSt.Recovered || recSt.CellsDone < 2 {
+		t.Errorf("recovered status = %s, want persisted+recovered with >=2 journaled cells", stData)
+	}
+
+	waitDone(t, restarted.base, durJob, 120*time.Second)
+	code, durEnvelope := httpGet(t, restarted.base+"/v1/jobs/"+durJob+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("post-restart result = %d: %s", code, durEnvelope)
+	}
+	if !bytes.Equal(durEnvelope, soEnvelope) {
+		t.Errorf("post-restart envelope diverges from standalone serverd envelope\n got: %s\nwant: %s", durEnvelope, soEnvelope)
+	}
+	if err := os.WriteFile(filepath.Join(artifacts, "restarted-result.json"), durEnvelope, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Teardown: the workers were started against the first incarnation
+	// and were never restarted — their clean exits prove the fabric
+	// tolerates a coordinator swap underneath live workers.
+	for i, w := range durWorkers {
+		stopServerd(t, w, fmt.Sprintf("survivor-%d", i))
+	}
+	stopServerd(t, restarted, "restarted coordinator")
+}
+
+// waitCellsDone polls a job until at least n cells are complete (or the
+// job finishes first — with fast cells the kill may lose the race, and
+// snapshot recovery is then what the restart exercises).
+func waitCellsDone(t *testing.T, base, id string, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		code, data := httpGet(t, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s = %d", id, code)
+		}
+		var st struct {
+			State     string `json:"state"`
+			Error     string `json:"error"`
+			CellsDone int    `json:"cells_done"`
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "failed", "canceled":
+			t.Fatalf("job %s reached %s: %s", id, st.State, st.Error)
+		case "done":
+			return
+		}
+		if st.CellsDone >= n {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never completed %d cells within %v", id, n, timeout)
+}
+
+// killServerd SIGKILLs one process — the crash half of the durability
+// story; stopServerd is the polite half.
+func killServerd(t *testing.T, p *serverdProc, label string) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing %s: %v", label, err)
+	}
+	<-p.exited
+	p.exitSeen = true
 }
 
 const (

@@ -8,9 +8,10 @@
 //	        [-addr :8077] [-shards N] [-queue N] [-retain N]
 //	        [-retry-after D] [-manifest-dir DIR] [-seed N]
 //	        [-drain-timeout D] [-cache N] [-trace-cap N]
-//	        [-replay-max-bytes N]
+//	        [-replay-max-bytes N] [-store-dir DIR]
 //	        [-lease-ttl D] [-lease-batch N]
 //	        [-coordinator URL] [-worker-name S] [-poll D] [-parallel N]
+//	        [-drain-grace D]
 //
 // Jobs are admitted with POST /v1/jobs (a registered spec name or an
 // inline cell grid), execute on a pool of -shards concurrent campaign
@@ -29,13 +30,23 @@
 // argument). A dead worker's leases expire after -lease-ttl and its
 // cells are re-leased.
 //
+// With -store-dir the server is durable: registered-spec jobs journal
+// their admission, every completed cell, and their terminal envelope to
+// that directory (fsynced at each commit point), and a restarted server
+// pointed at the same directory resumes in-flight jobs from their last
+// completed cell and keeps serving finished results. Even a SIGKILL
+// loses at most the unacknowledged tail; the resumed job's envelope is
+// byte-identical to an uninterrupted run. OPERATIONS.md is the runbook.
+//
 // On SIGTERM or SIGINT the server drains: admission stops (POST
 // returns 503, /healthz reports "draining"), in-flight and queued jobs
 // run to completion, results stay fetchable throughout, and the
 // process exits 0 once idle. If the drain exceeds -drain-timeout the
-// remaining jobs are cancelled first. A worker exits on the first
-// signal; any lease it held is reclaimed by the coordinator at its
-// deadline.
+// remaining jobs are cancelled first. A worker drains on the first
+// signal — it finishes the lease it is serving (up to -drain-grace),
+// tells the coordinator to stop offering it work, and exits 0; a
+// second signal, or the grace expiring, abandons the lease instead,
+// and the coordinator re-leases its cells at the deadline.
 package main
 
 import (
@@ -69,12 +80,14 @@ func main() {
 	cacheSize := flag.Int("cache", 64, "completed results cached per (spec, seed, scale) for instant resubmission; 0 disables")
 	traceCap := flag.Int("trace-cap", 0, "per-session event ring for the per-job trace endpoint (0 = default cap, negative disables capture)")
 	replayMax := flag.Int64("replay-max-bytes", 0, "POST /v1/replay body bound in bytes (0 = 4 MiB default)")
+	storeDir := flag.String("store-dir", "", "durable job store directory; empty keeps jobs in memory only (see OPERATIONS.md)")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "coordinator: lease lifetime without renewal before cells are reclaimed")
 	leaseBatch := flag.Int("lease-batch", 4, "coordinator: max cells per lease; worker: max cells requested per lease")
 	coordinator := flag.String("coordinator", "", "worker: coordinator base URL, e.g. http://127.0.0.1:8077")
 	workerName := flag.String("worker-name", "", "worker: label shown in GET /v1/workers and manifests")
 	poll := flag.Duration("poll", 200*time.Millisecond, "worker: sleep between lease attempts when the coordinator has no work")
 	parallel := flag.Int("parallel", 0, "worker: cell concurrency within a leased batch (0 = GOMAXPROCS)")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "worker: how long the first signal waits for the current lease before abandoning it")
 	flag.Parse()
 
 	// Counter aggregation is always on in the serving process — the
@@ -84,7 +97,7 @@ func main() {
 
 	switch *role {
 	case "worker":
-		runWorker(*coordinator, *workerName, *parallel, *leaseBatch, *poll)
+		runWorker(*coordinator, *workerName, *parallel, *leaseBatch, *poll, *drainGrace)
 		return
 	case "standalone", "coordinator":
 	default:
@@ -105,6 +118,7 @@ func main() {
 		CacheSize:      *cacheSize,
 		TraceCap:       *traceCap,
 		MaxReplayBytes: *replayMax,
+		StoreDir:       *storeDir,
 		Coordinator:    *role == "coordinator",
 		LeaseTTL:       *leaseTTL,
 		LeaseBatch:     *leaseBatch,
@@ -148,10 +162,13 @@ func main() {
 }
 
 // runWorker is the -role worker main loop: register with the
-// coordinator and process leases until SIGTERM/SIGINT. The worker
-// holds no server state — killing it at any moment is safe, because
-// the coordinator reclaims its leases at their deadlines.
-func runWorker(coordinator, name string, parallel, maxCells int, poll time.Duration) {
+// coordinator and process leases until a signal arrives. The first
+// signal drains — the worker finishes the lease it is serving (up to
+// grace), tells the coordinator to stop offering it work, and exits
+// cleanly; a second signal or the grace expiring cancels the run
+// outright. Killing a worker at any moment is safe regardless: the
+// coordinator reclaims its leases at their deadlines.
+func runWorker(coordinator, name string, parallel, maxCells int, poll, grace time.Duration) {
 	if coordinator == "" {
 		log.Fatal("serverd: -role worker requires -coordinator URL")
 	}
@@ -163,15 +180,37 @@ func runWorker(coordinator, name string, parallel, maxCells int, poll time.Durat
 		MaxCells:    maxCells,
 		Poll:        poll,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	// The worker line is load-bearing for the distsmoke harness, like
 	// the listener line above.
 	fmt.Printf("serverd worker polling %s\n", coordinator)
-	err := w.Run(ctx)
-	if errors.Is(err, context.Canceled) {
-		log.Printf("serverd worker %s: signal, exiting", w.ID())
-		return
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	var err error
+	select {
+	case err = <-done:
+	case s := <-sig:
+		log.Printf("serverd worker %s: %v: draining (grace %v)", w.ID(), s, grace)
+		w.BeginDrain(ctx)
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		select {
+		case err = <-done:
+		case <-sig:
+			log.Printf("serverd worker %s: second signal, abandoning lease", w.ID())
+			cancel()
+			err = <-done
+		case <-t.C:
+			log.Printf("serverd worker %s: drain grace expired, abandoning lease", w.ID())
+			cancel()
+			err = <-done
+		}
 	}
-	log.Fatalf("serverd worker: %v", err)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatalf("serverd worker: %v", err)
+	}
+	log.Printf("serverd worker %s: exiting", w.ID())
 }

@@ -87,6 +87,24 @@ func TestAPIDocCoversRoutes(t *testing.T) {
 	}
 }
 
+// TestOperationsDocCoversMetrics requires OPERATIONS.md (the runbook)
+// to explain every metric series the serve layer exposes at /metrics.
+// serve.Metrics() is the authoritative name list, so a counter or gauge
+// added to the server without a runbook entry fails here — an operator
+// paging through an incident never meets an undocumented number.
+func TestOperationsDocCoversMetrics(t *testing.T) {
+	data, err := os.ReadFile("OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, name := range serve.Metrics() {
+		if !strings.Contains(doc, name) {
+			t.Errorf("OPERATIONS.md does not mention the %s metric", name)
+		}
+	}
+}
+
 // mdLink matches markdown inline links, capturing the target.
 var mdLink = regexp.MustCompile(`\]\(([^)]+)\)`)
 

@@ -1,0 +1,64 @@
+package campaign
+
+import "sort"
+
+// CellQueue is an ordered queue of pending cell indices — the
+// scheduling structure the distributed coordinator (internal/serve)
+// keeps per job, and the shape the durable store (internal/store)
+// re-queues on recovery.
+//
+// The invariant is ascending index order: the queue always hands out
+// the lowest-indexed pending cell first, no matter how cells were
+// pushed. Initial fill pushes 0..n-1, a lease reclaim pushes a dead
+// worker's indices back, and a coordinator restart pushes whichever
+// cells the journal shows incomplete — in every case the next lease
+// starts at the earliest unfinished grid index. Ordering cannot change
+// result bytes (cell seeds derive from stable keys, results land at
+// their index), but it makes progress monotone front-to-back and makes
+// the lease schedule after a reclaim or a restart the same schedule an
+// uninterrupted run would have used, which keeps operational behavior
+// (progress counters, manifest fill order) predictable.
+//
+// CellQueue is not goroutine-safe; the serve layer guards it with the
+// server mutex like the rest of the job state.
+type CellQueue struct {
+	idx []int
+}
+
+// Push inserts indices, keeping ascending order. Indices already
+// pending are ignored, so re-pushing after an ambiguous failure
+// (a reclaim racing a partial completion, a double-replayed journal
+// record) is idempotent.
+func (q *CellQueue) Push(indices ...int) {
+	for _, i := range indices {
+		at := sort.SearchInts(q.idx, i)
+		if at < len(q.idx) && q.idx[at] == i {
+			continue
+		}
+		q.idx = append(q.idx, 0)
+		copy(q.idx[at+1:], q.idx[at:])
+		q.idx[at] = i
+	}
+}
+
+// Pop removes and returns up to n indices from the front (the lowest
+// pending indices). It returns a fresh slice; an empty queue returns
+// nil.
+func (q *CellQueue) Pop(n int) []int {
+	if n > len(q.idx) {
+		n = len(q.idx)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, n)
+	copy(out, q.idx[:n])
+	q.idx = q.idx[:copy(q.idx, q.idx[n:])]
+	return out
+}
+
+// Len returns the number of pending indices.
+func (q *CellQueue) Len() int { return len(q.idx) }
+
+// Drain removes and returns every pending index in order.
+func (q *CellQueue) Drain() []int { return q.Pop(len(q.idx)) }

@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCellQueueOrderedPop(t *testing.T) {
+	var q CellQueue
+	q.Push(3, 0, 2, 1)
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	if got := q.Pop(2); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Pop(2) = %v, want [0 1]", got)
+	}
+	if got := q.Pop(10); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("Pop(10) = %v, want [2 3]", got)
+	}
+	if got := q.Pop(1); got != nil {
+		t.Fatalf("Pop on empty = %v, want nil", got)
+	}
+}
+
+func TestCellQueueReclaimOrdering(t *testing.T) {
+	// A reclaim pushes a dead worker's low indices back after higher
+	// ones were already queued; the next pop must start at the lowest
+	// index, not at the back of the queue.
+	var q CellQueue
+	q.Push(4, 5, 6, 7)
+	q.Push(1, 2) // reclaimed lease
+	if got := q.Pop(3); !reflect.DeepEqual(got, []int{1, 2, 4}) {
+		t.Fatalf("Pop(3) = %v, want [1 2 4]", got)
+	}
+}
+
+func TestCellQueueDedup(t *testing.T) {
+	var q CellQueue
+	q.Push(2, 2, 1)
+	q.Push(1)
+	if got := q.Drain(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Drain = %v, want [1 2]", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after Drain = %d, want 0", q.Len())
+	}
+}

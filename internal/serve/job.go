@@ -57,13 +57,34 @@ type Job struct {
 	// registered specs only, since a worker rebuilds the spec from
 	// (name, seed, scale) against its own registry.
 	distributable bool
+	// persisted marks jobs journaled to the durable store (registered
+	// specs on a server configured with StoreDir): every commit point —
+	// admission, each completed cell, the terminal transition — is
+	// fsynced before it is acknowledged, so a restart resumes the job.
+	// recovered marks jobs reloaded from the store by a restarted
+	// server rather than submitted over HTTP in this process's
+	// lifetime. Both surface in the status body (API.md).
+	persisted bool
+	recovered bool
 
 	created  time.Time
 	started  time.Time
 	finished time.Time
 
-	spec      campaign.Spec
-	cellsDone int
+	spec campaign.Spec
+	// cellsTotal overrides len(spec.Cells) in the status body for
+	// snapshot-recovered jobs whose spec was not rebuilt (the registry
+	// no longer carries it); 0 defers to the spec.
+	cellsTotal int
+	cellsDone  int
+	// recoveredResults / recoveredNodes are index-aligned with
+	// spec.Cells on recovered in-flight jobs: the decoded results (and
+	// the worker that produced each) of cells the journal shows
+	// complete. runJob and runDistributed seed their merge arrays from
+	// them so only the incomplete cells re-execute; nil on jobs with
+	// nothing recovered.
+	recoveredResults []any
+	recoveredNodes   []string
 	// cellNodes is index-aligned with spec.Cells for distributed jobs:
 	// the worker ID that completed each cell ("" until then, and for
 	// locally executed jobs it stays nil).
@@ -106,6 +127,8 @@ type jobStatus struct {
 
 	Error       string `json:"error,omitempty"`
 	Cached      bool   `json:"cached,omitempty"`
+	Persisted   bool   `json:"persisted,omitempty"`
+	Recovered   bool   `json:"recovered,omitempty"`
 	ResultURL   string `json:"result_url,omitempty"`
 	ManifestURL string `json:"manifest_url,omitempty"`
 	TraceURL    string `json:"trace_url,omitempty"`
@@ -122,10 +145,12 @@ func (j *Job) status() jobStatus {
 		Scale:      j.Scale,
 		Parallel:   j.Parallel,
 		Created:    j.created.UTC().Format(time.RFC3339Nano),
-		CellsTotal: len(j.spec.Cells),
+		CellsTotal: max(len(j.spec.Cells), j.cellsTotal),
 		CellsDone:  j.cellsDone,
 		Error:      j.err,
 		Cached:     j.cached,
+		Persisted:  j.persisted,
+		Recovered:  j.recovered,
 	}
 	if !j.started.IsZero() {
 		st.Started = j.started.UTC().Format(time.RFC3339Nano)

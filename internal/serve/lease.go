@@ -40,6 +40,7 @@ func CoordinatorRoutes() []string {
 	return []string{
 		"POST /v1/workers",
 		"GET /v1/workers",
+		"POST /v1/workers/{name}/drain",
 		"POST /v1/leases",
 		"POST /v1/leases/{id}/renew",
 		"POST /v1/leases/{id}/complete",
@@ -50,9 +51,14 @@ func CoordinatorRoutes() []string {
 // by the owning Server's mutex except results/stats/nodes entries,
 // which are written once each (per-index ownership, like the Pool's).
 type distJob struct {
-	job     *Job
-	spec    campaign.Spec
-	pending []int // cell indices awaiting lease; front is next out
+	job  *Job
+	spec campaign.Spec
+	// pending is the ordered queue of cell indices awaiting lease
+	// (lowest index out first — initial fill, reclaims and restarts all
+	// converge on the same front-to-back schedule). Every mutation goes
+	// through the push/pop helpers so the pending-cells gauge stays
+	// exact.
+	pending campaign.CellQueue
 
 	results []any
 	stats   []campaign.CellStat
@@ -80,6 +86,10 @@ type workerInfo struct {
 	lastSeen   time.Time
 	leases     int // leases ever granted
 	cells      int // cells completed
+	// draining marks a worker being rolled out: it keeps its held
+	// leases (renew and complete still work) but acquire returns 204,
+	// so it winds down to zero and can exit cleanly (OPERATIONS.md).
+	draining bool
 }
 
 // registerRequest is the POST /v1/workers body.
@@ -96,7 +106,8 @@ type registerResponse struct {
 	LeaseTTLNS int64  `json:"lease_ttl_ns"`
 }
 
-// workerStatus is one GET /v1/workers entry.
+// workerStatus is one GET /v1/workers entry (and the drain-route
+// response body).
 type workerStatus struct {
 	ID         string `json:"id"`
 	Name       string `json:"name,omitempty"`
@@ -104,6 +115,8 @@ type workerStatus struct {
 	LastSeen   string `json:"last_seen"`
 	Leases     int    `json:"leases"`
 	Cells      int    `json:"cells_completed"`
+	Draining   bool   `json:"draining,omitempty"`
+	LeasesHeld int    `json:"leases_held"`
 }
 
 // leaseCell is one cell of a lease grant: the index into the spec's
@@ -171,14 +184,27 @@ func (s *Server) runDistributed(ctx context.Context, j *Job) (*campaign.Outcome,
 		remaining: n,
 		finished:  make(chan struct{}),
 	}
+	// A recovered job enters the fabric with its journaled cells
+	// already complete: only the rest are queued for lease, and the
+	// merge below is identical to an uninterrupted run because results
+	// land at their index either way.
+	var incomplete []int
 	for i, c := range j.spec.Cells {
-		dj.pending = append(dj.pending, i)
 		dj.stats[i] = campaign.CellStat{Key: c.Key, Seed: j.spec.CellSeed(c.Key)}
+		if j.recoveredResults != nil && j.recoveredResults[i] != nil {
+			dj.results[i] = j.recoveredResults[i]
+			dj.stats[i] = j.cellStats[i]
+			dj.nodes[i] = j.recoveredNodes[i]
+			dj.remaining--
+			continue
+		}
+		incomplete = append(incomplete, i)
 	}
 	start := time.Now()
 
 	s.mu.Lock()
-	if n == 0 {
+	s.pushPendingLocked(dj, incomplete...)
+	if dj.remaining == 0 {
 		close(dj.finished)
 	}
 	j.cellNodes = dj.nodes // manifest records per-cell placement
@@ -225,11 +251,10 @@ func (s *Server) cancelDist(dj *distJob) {
 		return
 	}
 	dj.canceled = true
-	for _, idx := range dj.pending {
+	for _, idx := range s.popPendingLocked(dj, dj.pending.Len()) {
 		dj.stats[idx].Err = errText
 		s.finishDistCellLocked(dj)
 	}
-	dj.pending = nil
 	for id, l := range s.leases {
 		if l.dj != dj {
 			continue
@@ -251,6 +276,22 @@ func (s *Server) finishDistCellLocked(dj *distJob) {
 	}
 }
 
+// pushPendingLocked / popPendingLocked are the only mutators of a
+// distributed job's pending queue, keeping the pending-cells gauge
+// (an atomic, so /metrics reads it without s.mu) exact. Caller holds
+// s.mu.
+func (s *Server) pushPendingLocked(dj *distJob, indices ...int) {
+	before := dj.pending.Len()
+	dj.pending.Push(indices...)
+	s.pendingCells.Add(int64(dj.pending.Len() - before))
+}
+
+func (s *Server) popPendingLocked(dj *distJob, n int) []int {
+	out := dj.pending.Pop(n)
+	s.pendingCells.Add(-int64(len(out)))
+	return out
+}
+
 // reclaimExpiredLocked returns every expired lease's cells to their
 // job's pending queue for re-lease. Deadline-based reclaim is the
 // fabric's whole failure story: a worker that dies mid-lease simply
@@ -266,7 +307,10 @@ func (s *Server) reclaimExpiredLocked(now time.Time) {
 		if l.dj.canceled {
 			continue
 		}
-		l.dj.pending = append(l.dj.pending, l.cells...)
+		// The ordered queue puts reclaimed low indices back at the
+		// front, so the post-reclaim lease schedule matches what an
+		// uninterrupted run would have handed out next.
+		s.pushPendingLocked(l.dj, l.cells...)
 		obs.LeaseReclaims.Inc()
 	}
 }
@@ -312,18 +356,32 @@ func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, registerResponse{ID: info.id, LeaseTTLNS: int64(s.cfg.LeaseTTL)})
 }
 
+// workerStatusLocked snapshots one worker for listings and the drain
+// response, counting the leases it currently holds. Caller holds s.mu.
+func (s *Server) workerStatusLocked(info *workerInfo) workerStatus {
+	held := 0
+	for _, l := range s.leases {
+		if l.worker == info.id {
+			held++
+		}
+	}
+	return workerStatus{
+		ID:         info.id,
+		Name:       info.name,
+		Registered: info.registered.UTC().Format(time.RFC3339Nano),
+		LastSeen:   info.lastSeen.UTC().Format(time.RFC3339Nano),
+		Leases:     info.leases,
+		Cells:      info.cells,
+		Draining:   info.draining,
+		LeasesHeld: held,
+	}
+}
+
 func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	out := make([]workerStatus, 0, len(s.workers))
 	for _, info := range s.workers {
-		out = append(out, workerStatus{
-			ID:         info.id,
-			Name:       info.name,
-			Registered: info.registered.UTC().Format(time.RFC3339Nano),
-			LastSeen:   info.lastSeen.UTC().Format(time.RFC3339Nano),
-			Leases:     info.leases,
-			Cells:      info.cells,
-		})
+		out = append(out, s.workerStatusLocked(info))
 	}
 	s.mu.Unlock()
 	// Stable listing order for clients and tests.
@@ -333,6 +391,44 @@ func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleWorkerDrain marks one worker draining (addressed by its
+// coordinator-assigned ID or, when unambiguous, its registered name):
+// it keeps renewing and completing the leases it holds, but every
+// subsequent acquire returns 204, so it winds down to zero leases and
+// can be stopped without losing work. Draining is idempotent and
+// one-way; a replacement worker simply registers fresh.
+func (s *Server) handleWorkerDrain(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("name")
+	s.mu.Lock()
+	info := s.workers[key]
+	if info == nil {
+		var matches []*workerInfo
+		for _, wi := range s.workers {
+			if wi.name == key {
+				matches = append(matches, wi)
+			}
+		}
+		if len(matches) > 1 {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusConflict,
+				apiError{Error: fmt.Sprintf("%d workers are named %q; drain by ID (GET /v1/workers lists them)", len(matches), key)})
+			return
+		}
+		if len(matches) == 1 {
+			info = matches[0]
+		}
+	}
+	if info == nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such worker (GET /v1/workers lists them)"})
+		return
+	}
+	info.draining = true
+	st := s.workerStatusLocked(info)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
@@ -356,11 +452,19 @@ func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if info := s.workers[req.Worker]; info != nil {
 		info.lastSeen = now
+		if info.draining {
+			// Draining workers finish what they hold but get no new
+			// work — 204 is indistinguishable from "no work", so the
+			// worker loop winds down without a special case.
+			s.mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 	}
 	s.reclaimExpiredLocked(now)
 	var dj *distJob
 	for _, q := range s.distQueue {
-		if !q.canceled && len(q.pending) > 0 {
+		if !q.canceled && q.pending.Len() > 0 {
 			dj = q
 			break
 		}
@@ -370,12 +474,7 @@ func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	if batch > len(dj.pending) {
-		batch = len(dj.pending)
-	}
-	cells := make([]int, batch)
-	copy(cells, dj.pending[:batch])
-	dj.pending = dj.pending[batch:]
+	cells := s.popPendingLocked(dj, batch)
 	s.leaseSeq++
 	l := &lease{
 		id:      fmt.Sprintf("lease-%06d", s.leaseSeq),
@@ -489,12 +588,18 @@ func (s *Server) handleLeaseComplete(w http.ResponseWriter, r *http.Request) {
 		dj.job.cellStats[c.Index] = c.Stat
 		dj.job.cellsDone++
 		accepted++
+		if dj.job.persisted && c.Stat.Err == "" {
+			// Journal before acknowledging: the wire gob bytes are
+			// reused as-is, so what recovery decodes is exactly what
+			// this completion carried.
+			s.persistCell(dj.job.ID, c.Index, req.Worker, c.Stat, nil, c.Result)
+		}
 		s.finishDistCellLocked(dj)
 	}
 	// Cells the worker leased but did not report go straight back to
 	// pending (a worker may return a partial batch after an error).
 	for idx := range leased {
-		dj.pending = append(dj.pending, idx)
+		s.pushPendingLocked(dj, idx)
 	}
 	if info := s.workers[req.Worker]; info != nil {
 		info.lastSeen = now

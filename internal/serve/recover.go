@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"rhohammer/internal/campaign"
+	"rhohammer/internal/store"
+)
+
+// Durability integration (OPERATIONS.md is the runbook view). With
+// Config.StoreDir set, every registered-spec job journals its commit
+// points to the durable store: admission (persistAdmitLocked), each
+// successfully completed cell (persistCell — locally executed cells
+// stage their result until OnCell has the final stat; leased cells
+// reuse the wire gob bytes the worker posted), and the terminal
+// transition (persistTerminalLocked: snapshot first, done record
+// second, so a crash between the two recovers the job as in-flight
+// with every cell complete, converging to the same terminal state).
+// recoverState is the other half: New replays the store into servable
+// terminal jobs and re-queued in-flight jobs before the shard pool
+// starts.
+
+// Metrics returns the name of every serve-layer metric series exposed
+// at GET /metrics — the admission counters, the cache counters, the
+// scaling gauges, and the lease-fabric counters. OPERATIONS.md must
+// document each of them; the doccheck suite pins that, so a metric
+// added here cannot ship unexplained.
+func Metrics() []string {
+	return []string{
+		"rhohammer_serve_jobs_accepted_total",
+		"rhohammer_serve_jobs_rejected_total",
+		"rhohammer_serve_jobs_completed_total",
+		"rhohammer_serve_jobs_failed_total",
+		"rhohammer_serve_jobs_canceled_total",
+		"rhohammer_serve_result_cache_hits_total",
+		"rhohammer_serve_result_cache_misses_total",
+		"rhohammer_serve_queue_depth",
+		"rhohammer_serve_jobs_running",
+		"rhohammer_serve_pending_cells",
+		"rhohammer_serve_oldest_pending_seconds",
+		"rhohammer_lease_grants_total",
+		"rhohammer_lease_renewals_total",
+		"rhohammer_lease_completions_total",
+		"rhohammer_lease_reclaims_total",
+		"rhohammer_lease_cells_leased_total",
+		"rhohammer_lease_expired_completions_total",
+	}
+}
+
+// recoverState folds everything Open recovered from the store into the
+// server: snapshots become servable terminal jobs (warming the result
+// cache), in-flight journal jobs are rebuilt against the registry and
+// re-queued with their completed cells prefilled. Runs before the
+// shard pool starts, so nothing races admission.
+func (s *Server) recoverState(state *store.State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, warn := range state.Warnings {
+		log.Printf("serve: store recovery: %s", warn)
+	}
+
+	for _, snap := range state.Snapshots {
+		s.bumpSeqLocked(snap.ID)
+		j := &Job{
+			ID: snap.ID, SpecName: snap.Spec, Seed: snap.Seed, Scale: snap.Scale,
+			Parallel:  snap.Parallel,
+			state:     State(snap.State), err: snap.Error,
+			persisted: true, recovered: true,
+			created:   snap.Created, started: snap.Started, finished: snap.Finished,
+			cellsTotal: snap.CellsTotal, cellsDone: snap.CellsDone,
+			result:    snap.Canonical, resultTimed: snap.Timed, manifest: snap.Manifest,
+		}
+		if entry, ok := s.cfg.Registry.Lookup(snap.Spec); ok {
+			j.spec = entry.Build(campaign.Params{Seed: snap.Seed, Scale: snap.Scale})
+			j.cacheable = true
+		}
+		s.jobs[j.ID] = j
+		s.done = append(s.done, j.ID)
+		if s.cache != nil && j.cacheable && j.state == StateDone && len(j.result) > 0 {
+			s.cache.put(cacheKey{spec: j.SpecName, seed: j.Seed, scale: j.Scale},
+				cacheEntry{canon: j.result, timed: j.resultTimed})
+		}
+	}
+	for len(s.done) > s.cfg.Retain {
+		evict := s.done[0]
+		s.done = s.done[1:]
+		delete(s.jobs, evict)
+		if err := s.store.DeleteSnapshot(evict); err != nil {
+			log.Printf("serve: store recovery: evicting %s: %v", evict, err)
+		}
+	}
+
+	for _, sj := range state.Jobs {
+		s.bumpSeqLocked(sj.Meta.ID)
+		entry, ok := s.cfg.Registry.Lookup(sj.Meta.Spec)
+		if !ok {
+			// Loud skip: this job cannot be rebuilt, but the jobs that
+			// can must not be held hostage. It fails terminally — and is
+			// snapshotted as failed, so the journal stops carrying it.
+			log.Printf("serve: store recovery: job %s names spec %q absent from the registry; failing it (other jobs recover)",
+				sj.Meta.ID, sj.Meta.Spec)
+			j := &Job{
+				ID: sj.Meta.ID, SpecName: sj.Meta.Spec, Seed: sj.Meta.Seed,
+				Scale: sj.Meta.Scale, Parallel: sj.Meta.Parallel,
+				persisted: true, recovered: true,
+				created:   sj.Meta.Created,
+				cellsDone: len(sj.Cells),
+			}
+			s.jobs[j.ID] = j
+			s.finishLocked(j, StateFailed,
+				fmt.Sprintf("recovered job names spec %q, absent from this server's registry", sj.Meta.Spec))
+			s.attachManifestLocked(j, nil)
+			s.persistTerminalLocked(j)
+			continue
+		}
+		spec := entry.Build(campaign.Params{Seed: sj.Meta.Seed, Scale: sj.Meta.Scale})
+		j := &Job{
+			ID: sj.Meta.ID, SpecName: sj.Meta.Spec, Seed: sj.Meta.Seed,
+			Scale: sj.Meta.Scale, Parallel: sj.Meta.Parallel,
+			state: StateQueued, created: sj.Meta.Created, spec: spec,
+			cacheable: true, distributable: true,
+			persisted: true, recovered: true,
+		}
+		j.cellStats = make([]campaign.CellStat, len(spec.Cells))
+		for i, c := range spec.Cells {
+			j.cellStats[i] = campaign.CellStat{Key: c.Key, Seed: spec.CellSeed(c.Key)}
+		}
+		j.recoveredResults = make([]any, len(spec.Cells))
+		j.recoveredNodes = make([]string, len(spec.Cells))
+		kept := 0
+		for idx, cell := range sj.Cells {
+			if idx < 0 || idx >= len(spec.Cells) || spec.Cells[idx].Key != cell.Key {
+				log.Printf("serve: store recovery: job %s cell %d/%s does not match the rebuilt spec; re-running it",
+					j.ID, idx, cell.Key)
+				continue
+			}
+			if cell.Stat.Err != "" {
+				continue
+			}
+			v, err := campaign.DecodeResult(cell.Result)
+			if err != nil {
+				log.Printf("serve: store recovery: job %s cell %s result unreadable; re-running it: %v",
+					j.ID, cell.Key, err)
+				continue
+			}
+			if v == nil {
+				// A nil result is indistinguishable from "never ran";
+				// re-running it is deterministic either way.
+				continue
+			}
+			j.recoveredResults[idx] = v
+			j.recoveredNodes[idx] = cell.Node
+			j.cellStats[idx] = cell.Stat
+			j.cellsDone++
+			kept++
+		}
+		if kept == 0 {
+			j.recoveredResults, j.recoveredNodes = nil, nil
+		}
+		s.jobs[j.ID] = j
+		s.queue <- j // capacity reserved by New; never blocks
+		s.queued.Add(1)
+		log.Printf("serve: store recovery: job %s (%s) resumed with %d/%d cells complete",
+			j.ID, j.SpecName, kept, len(spec.Cells))
+	}
+	s.recomputeOldestLocked()
+}
+
+// bumpSeqLocked advances the job-ID sequence past a recovered ID so
+// new admissions never collide with recovered jobs. Caller holds s.mu.
+func (s *Server) bumpSeqLocked(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
+}
+
+// recomputeOldestLocked refreshes the oldest-pending gauge source: the
+// creation time of the oldest non-terminal job, 0 when none. Caller
+// holds s.mu; the gauge itself reads only the atomic.
+func (s *Server) recomputeOldestLocked() {
+	var oldest int64
+	for _, j := range s.jobs {
+		if j.state.terminal() {
+			continue
+		}
+		if ns := j.created.UnixNano(); oldest == 0 || ns < oldest {
+			oldest = ns
+		}
+	}
+	s.oldestPending.Store(oldest)
+}
+
+// persistAdmitLocked journals a newly admitted persisted job; the
+// fsync inside AppendJob is the commit point that makes the 202
+// acknowledgment durable. A store failure demotes the job to
+// non-persisted (loudly) rather than failing admission. Caller holds
+// s.mu.
+func (s *Server) persistAdmitLocked(j *Job) {
+	if s.store == nil || !j.persisted {
+		return
+	}
+	err := s.store.AppendJob(store.JobMeta{
+		ID: j.ID, Spec: j.SpecName, Seed: j.Seed, Scale: j.Scale,
+		Parallel: j.Parallel, Created: j.created,
+	})
+	if err != nil {
+		j.persisted = false
+		log.Printf("serve: job %s will not survive a restart: %v", j.ID, err)
+	}
+}
+
+// persistCell journals one successfully completed cell. raw, when
+// non-nil, is the campaign wire gob exactly as a worker posted it and
+// is reused byte-for-byte; otherwise v (a locally computed result) is
+// encoded here. Store failures are logged, never fatal — the cell
+// would simply re-run after a restart, byte-identically.
+func (s *Server) persistCell(jobID string, index int, node string, stat campaign.CellStat, v any, raw []byte) {
+	if s.store == nil {
+		return
+	}
+	data := raw
+	if data == nil {
+		var err error
+		if data, err = campaign.EncodeResult(v); err != nil {
+			log.Printf("serve: job %s cell %s not journaled: %v", jobID, stat.Key, err)
+			return
+		}
+	}
+	err := s.store.AppendCell(jobID, store.CellResult{
+		Index: index, Key: stat.Key, Node: node, Stat: stat, Result: data,
+	})
+	if err != nil {
+		log.Printf("serve: job %s cell %s not journaled: %v", jobID, stat.Key, err)
+	}
+}
+
+// persistTerminalLocked snapshots a terminal persisted job and marks
+// it done in the journal. The snapshot lands first: a crash between
+// the two recovers the job as in-flight with every cell complete,
+// which converges to the same terminal state on resume. Caller holds
+// s.mu.
+func (s *Server) persistTerminalLocked(j *Job) {
+	if s.store == nil || !j.persisted || !j.state.terminal() {
+		return
+	}
+	snap := &store.Snapshot{
+		ID: j.ID, Spec: j.SpecName, Seed: j.Seed, Scale: j.Scale, Parallel: j.Parallel,
+		State: string(j.state), Error: j.err,
+		CellsTotal: max(len(j.spec.Cells), j.cellsTotal), CellsDone: j.cellsDone,
+		Created: j.created, Started: j.started, Finished: j.finished,
+		Canonical: j.result, Timed: j.resultTimed, Manifest: j.manifest,
+	}
+	if err := s.store.WriteSnapshot(snap); err != nil {
+		log.Printf("serve: job %s snapshot not written: %v", j.ID, err)
+		return
+	}
+	if err := s.store.AppendDone(j.ID, string(j.state), j.err); err != nil {
+		log.Printf("serve: job %s done record not written: %v", j.ID, err)
+	}
+}
+
+// crash simulates coordinator death for the restart tests: the store
+// is closed first — as in a real crash, no further journal or snapshot
+// writes land — then every job is cancelled and the machinery torn
+// down. Only tests call it; a production exit is Drain.
+func (s *Server) crash() {
+	s.mu.Lock()
+	if s.store != nil {
+		s.store.Close()
+	}
+	s.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx)
+}
+
+// runResumed executes a recovered job's incomplete cells locally and
+// merges them with the recovered results into a full-grid Outcome via
+// the same AssembleOutcome every other scheduler uses — which is why
+// the envelope bytes cannot differ from an uninterrupted run. runSpec
+// holds only the incomplete cells; idxMap maps its indices back to the
+// full grid.
+func (s *Server) runResumed(ctx context.Context, j *Job, runSpec campaign.Spec, idxMap []int, onCell func(int, campaign.CellStat)) (*campaign.Outcome, error) {
+	start := time.Now()
+	n := len(j.spec.Cells)
+	results := make([]any, n)
+	stats := make([]campaign.CellStat, n)
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		if j.recoveredResults[i] != nil {
+			results[i] = j.recoveredResults[i]
+			stats[i] = j.cellStats[i]
+		}
+	}
+	s.mu.Unlock()
+
+	workers := 1
+	if len(runSpec.Cells) > 0 {
+		var sub *campaign.Outcome
+		var err error
+		if j.Parallel == 0 && s.pool != nil {
+			sub, err = s.pool.RunContext(ctx, runSpec, campaign.RunOpts{OnCell: onCell})
+		} else {
+			sub, err = campaign.Runner{Workers: j.Parallel, OnCell: onCell}.RunContext(ctx, runSpec)
+		}
+		if sub == nil {
+			return nil, err
+		}
+		workers = sub.Workers
+		for k, full := range idxMap {
+			results[full] = sub.Results[k]
+			stats[full] = sub.Cells[k]
+		}
+	}
+	return campaign.AssembleOutcome(j.spec, workers, time.Since(start), results, stats)
+}

@@ -41,6 +41,7 @@ import (
 	"rhohammer/internal/campaign"
 	"rhohammer/internal/experiments"
 	"rhohammer/internal/obs"
+	"rhohammer/internal/store"
 )
 
 // Serve-layer counters, exposed at /metrics next to the substrate's.
@@ -114,6 +115,13 @@ type Config struct {
 	LeaseTTL time.Duration
 	// LeaseBatch caps the cells granted per lease. Default 4.
 	LeaseBatch int
+	// StoreDir, when non-empty, enables the durable job store
+	// (internal/store, OPERATIONS.md): registered-spec jobs journal
+	// their admission, every completed cell, and their terminal
+	// envelopes to this directory, and New replays it so a restarted
+	// server resumes in-flight jobs (incomplete cells re-queue,
+	// completed cells keep their results) and re-serves finished ones.
+	StoreDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +176,9 @@ type Server struct {
 	// an explicit parallel value; nil when CellWorkers < 0.
 	pool *campaign.Pool
 
+	// store is the durable job store; nil without Config.StoreDir.
+	store *store.Store
+
 	// Coordinator-mode state (lease.go), guarded by mu.
 	distQueue   []*distJob
 	leases      map[string]*lease
@@ -176,12 +187,18 @@ type Server struct {
 	workerSeq   int
 	janitorStop chan struct{}
 
-	// queued/running are atomics, not mu-guarded fields: the /metrics
-	// gauges read them from inside the obs registry's snapshot lock,
-	// which would deadlock against a manifest emission holding mu
-	// (attachManifestLocked → obs.Values → gauge).
-	queued  atomic.Int64
-	running atomic.Int64
+	// queued/running/pendingCells/oldestPending are atomics, not
+	// mu-guarded fields: the /metrics gauges read them from inside the
+	// obs registry's snapshot lock, which would deadlock against a
+	// manifest emission holding mu (attachManifestLocked → obs.Values →
+	// gauge). pendingCells counts cells awaiting lease across all
+	// distributed jobs; oldestPending is the UnixNano creation time of
+	// the oldest non-terminal job (0 when none) — together the
+	// autoscaling signals OPERATIONS.md interprets.
+	queued        atomic.Int64
+	running       atomic.Int64
+	pendingCells  atomic.Int64
+	oldestPending atomic.Int64
 
 	shards sync.WaitGroup
 }
@@ -212,11 +229,29 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		return nil, errors.New("serve: Config.Registry is required")
 	}
+	// The store is opened (and its journal replayed) before anything
+	// else so the queue can be sized to hold every recovered in-flight
+	// job on top of the configured depth — recovery must never trip its
+	// own backpressure.
+	var st *store.Store
+	var recovered *store.State
+	if cfg.StoreDir != "" {
+		var err error
+		st, recovered, err = store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening job store: %w", err)
+		}
+	}
+	extra := 0
+	if recovered != nil {
+		extra = len(recovered.Jobs)
+	}
 	s := &Server{
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
 		jobs:  map[string]*Job{},
-		queue: make(chan *Job, cfg.QueueDepth),
+		queue: make(chan *Job, cfg.QueueDepth+extra),
+		store: st,
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newResultCache(cfg.CacheSize)
@@ -250,6 +285,7 @@ func New(cfg Config) (*Server, error) {
 		coordHandlers := map[string]http.HandlerFunc{
 			"POST /v1/workers":              s.handleWorkerRegister,
 			"GET /v1/workers":               s.handleWorkerList,
+			"POST /v1/workers/{name}/drain": s.handleWorkerDrain,
 			"POST /v1/leases":               s.handleLeaseAcquire,
 			"POST /v1/leases/{id}/renew":    s.handleLeaseRenew,
 			"POST /v1/leases/{id}/complete": s.handleLeaseComplete,
@@ -263,8 +299,25 @@ func New(cfg Config) (*Server, error) {
 		}
 		go s.janitor(cfg.LeaseTTL/2, s.janitorStop)
 	}
+	if recovered != nil {
+		// Shards are not running yet, so recovery fills the jobs map and
+		// queue without racing admission.
+		s.recoverState(recovered)
+	}
 	obs.Default.Gauge("rhohammer_serve_queue_depth", s.queued.Load)
 	obs.Default.Gauge("rhohammer_serve_jobs_running", s.running.Load)
+	obs.Default.Gauge("rhohammer_serve_pending_cells", s.pendingCells.Load)
+	obs.Default.Gauge("rhohammer_serve_oldest_pending_seconds", func() int64 {
+		ns := s.oldestPending.Load()
+		if ns == 0 {
+			return 0
+		}
+		sec := int64(time.Since(time.Unix(0, ns)) / time.Second)
+		if sec < 0 {
+			sec = 0
+		}
+		return sec
+	})
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards.Add(1)
 		go s.shard()
@@ -352,6 +405,7 @@ func (s *Server) runJob(j *Job) {
 		// Cancelled while queued: it never starts.
 		s.finishLocked(j, StateCanceled, "canceled before start")
 		s.attachManifestLocked(j, nil)
+		s.persistTerminalLocked(j)
 		s.mu.Unlock()
 		return
 	}
@@ -381,21 +435,61 @@ func (s *Server) runJob(j *Job) {
 	s.mu.Unlock()
 	defer cancel()
 
+	// Local execution of a recovered job runs only the cells the store
+	// has no result for; idxMap maps the run spec's indices back to the
+	// full grid (identity for fresh jobs). Distributed jobs prefill
+	// inside runDistributed instead.
+	runSpec := j.spec
+	var idxMap []int
+	if !distributed && j.recoveredResults != nil {
+		runSpec.Cells = nil
+		for i, c := range j.spec.Cells {
+			if j.recoveredResults[i] == nil {
+				runSpec.Cells = append(runSpec.Cells, c)
+				idxMap = append(idxMap, i)
+			}
+		}
+	} else {
+		idxMap = make([]int, len(j.spec.Cells))
+		for i := range idxMap {
+			idxMap[i] = i
+		}
+	}
+	// Persisted local jobs stage each cell's result from Exec until
+	// OnCell (which has the index and final stat) journals it; leased
+	// cells are journaled in handleLeaseComplete instead.
+	var staged sync.Map
+	if s.store != nil && j.persisted && !distributed {
+		exec := runSpec.Exec
+		runSpec.Exec = func(c campaign.Cell, seed int64) (any, error) {
+			v, execErr := exec(c, seed)
+			if execErr == nil {
+				staged.Store(c.Key, v)
+			}
+			return v, execErr
+		}
+	}
 	onCell := func(i int, stat campaign.CellStat) {
+		full := idxMap[i]
 		s.mu.Lock()
-		j.cellStats[i] = stat
+		j.cellStats[full] = stat
 		j.cellsDone++
 		s.mu.Unlock()
+		if v, ok := staged.LoadAndDelete(stat.Key); ok && stat.Err == "" {
+			s.persistCell(j.ID, full, "", stat, v, nil)
+		}
 	}
 	var out *campaign.Outcome
 	var err error
 	switch {
 	case distributed:
 		out, err = s.runDistributed(ctx, j)
+	case j.recoveredResults != nil:
+		out, err = s.runResumed(ctx, j, runSpec, idxMap, onCell)
 	case j.Parallel == 0 && s.pool != nil:
-		out, err = s.pool.RunContext(ctx, j.spec, campaign.RunOpts{OnCell: onCell})
+		out, err = s.pool.RunContext(ctx, runSpec, campaign.RunOpts{OnCell: onCell})
 	default:
-		out, err = campaign.Runner{Workers: j.Parallel, OnCell: onCell}.RunContext(ctx, j.spec)
+		out, err = campaign.Runner{Workers: j.Parallel, OnCell: onCell}.RunContext(ctx, runSpec)
 	}
 
 	s.mu.Lock()
@@ -440,6 +534,7 @@ func (s *Server) runJob(j *Job) {
 		}
 	}
 	s.attachManifestLocked(j, out)
+	s.persistTerminalLocked(j)
 }
 
 // finishLocked moves a job to a terminal state, updates counters and
@@ -464,7 +559,13 @@ func (s *Server) finishLocked(j *Job, st State, errText string) {
 		evict := s.done[0]
 		s.done = s.done[1:]
 		delete(s.jobs, evict)
+		if s.store != nil {
+			// Retention and durable retention evict together; a failed
+			// delete only means the snapshot reappears after a restart.
+			_ = s.store.DeleteSnapshot(evict)
+		}
 	}
+	s.recomputeOldestLocked()
 }
 
 // attachManifestLocked records the job's obs manifest (and writes it to
@@ -612,7 +713,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Only registry-built jobs can execute on worker nodes: a worker
 	// rebuilds the spec from (name, seed, scale) against its own
 	// registry, which inline grids and replay traces are absent from.
+	// The same property makes them the persistable jobs — recovery
+	// rebuilds the spec the identical way.
 	j.distributable = req.Inline == nil
+	j.persisted = s.store != nil && req.Inline == nil
 	j.cellStats = make([]campaign.CellStat, len(spec.Cells))
 	for i, c := range spec.Cells {
 		j.cellStats[i] = campaign.CellStat{Key: c.Key, Seed: spec.CellSeed(c.Key)}
@@ -644,8 +748,10 @@ func (s *Server) admit(w http.ResponseWriter, j *Job) {
 			j.cellsDone = len(j.spec.Cells)
 			j.result = e.canon
 			j.resultTimed = e.timed
+			s.persistAdmitLocked(j)
 			s.finishLocked(j, StateDone, "")
 			s.attachManifestLocked(j, nil)
+			s.persistTerminalLocked(j)
 			s.mu.Unlock()
 			jobsAccepted.Inc()
 			cacheHits.Inc()
@@ -661,6 +767,8 @@ func (s *Server) admit(w http.ResponseWriter, j *Job) {
 	case s.queue <- j:
 		s.queued.Add(1)
 		s.jobs[j.ID] = j
+		s.recomputeOldestLocked()
+		s.persistAdmitLocked(j)
 	default:
 		s.seq-- // the ID was never issued
 		s.mu.Unlock()

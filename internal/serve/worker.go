@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"rhohammer/internal/campaign"
@@ -49,8 +50,15 @@ type Worker struct {
 	// http.DefaultClient.
 	Client *http.Client
 
-	id  string
+	// id is atomic because BeginDrain and ID are meant to be called
+	// from outside the Run goroutine (signal handlers, tests) while
+	// registration may still be in flight.
+	id  atomic.Pointer[string]
 	ttl time.Duration
+
+	// draining is set by BeginDrain: Run finishes the lease it is
+	// serving (if any) and then acquires no more.
+	draining atomic.Bool
 }
 
 // Run registers the worker and processes leases until ctx is
@@ -66,7 +74,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
-	for w.id == "" {
+	for w.ID() == "" {
 		if err := w.register(ctx); err != nil {
 			if sleepErr := sleepCtx(ctx, poll); sleepErr != nil {
 				return sleepErr
@@ -77,6 +85,12 @@ func (w *Worker) Run(ctx context.Context) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if w.draining.Load() {
+			// BeginDrain: any in-flight lease has already been served to
+			// completion by the time the loop comes back around, so the
+			// worker is idle and can exit cleanly.
+			return nil
 		}
 		grant, err := w.acquire(ctx)
 		if err != nil || grant == nil {
@@ -93,7 +107,27 @@ func (w *Worker) Run(ctx context.Context) error {
 
 // ID returns the coordinator-assigned worker ID ("" before
 // registration succeeds).
-func (w *Worker) ID() string { return w.id }
+func (w *Worker) ID() string {
+	if p := w.id.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// BeginDrain asks the worker to wind down: Run finishes whatever lease
+// it is currently serving, acquires no more, and returns nil. When the
+// worker has registered, the coordinator is also told (best-effort) so
+// it stops offering this worker leases immediately rather than at the
+// worker's next acquire — the operator-facing equivalent is
+// POST /v1/workers/{name}/drain (see OPERATIONS.md). Idempotent.
+func (w *Worker) BeginDrain(ctx context.Context) {
+	if w.draining.Swap(true) {
+		return
+	}
+	if id := w.ID(); id != "" {
+		_, _ = w.call(ctx, "POST", "/v1/workers/"+id+"/drain", struct{}{}, nil)
+	}
+}
 
 // register performs POST /v1/workers, adopting the assigned ID and the
 // coordinator's lease TTL.
@@ -106,15 +140,15 @@ func (w *Worker) register(ctx context.Context) error {
 	if code != http.StatusCreated {
 		return fmt.Errorf("serve: register: coordinator returned %d", code)
 	}
-	w.id = resp.ID
 	w.ttl = time.Duration(resp.LeaseTTLNS)
+	w.id.Store(&resp.ID)
 	return nil
 }
 
 // acquire performs POST /v1/leases; nil grant means no work (204).
 func (w *Worker) acquire(ctx context.Context) (*leaseGrant, error) {
 	var grant leaseGrant
-	code, err := w.call(ctx, "POST", "/v1/leases", acquireRequest{Worker: w.id, MaxCells: w.MaxCells}, &grant)
+	code, err := w.call(ctx, "POST", "/v1/leases", acquireRequest{Worker: w.ID(), MaxCells: w.MaxCells}, &grant)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +189,7 @@ func (w *Worker) serve(ctx context.Context, grant *leaseGrant) {
 		return
 	}
 
-	req := completeRequest{Worker: w.id}
+	req := completeRequest{Worker: w.ID()}
 	for i := range sub.Cells {
 		cc := completedCell{Index: grant.Cells[i].Index, Key: grant.Cells[i].Key, Stat: out.Cells[i]}
 		if out.Cells[i].Err == "" {

@@ -1,0 +1,249 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"rhohammer/internal/campaign"
+)
+
+// Version is the journal format version. The first line of every
+// journal is a header record carrying it; a journal written by a
+// different format version is refused with a typed error instead of
+// being half-understood.
+const Version = "v1"
+
+// ErrorKind classifies a DecodeError. Every way a journal can be
+// rejected has its own kind, so callers (and the failure-mode tests)
+// can assert on the failure mode instead of matching message strings —
+// the same contract the replay trace codec keeps.
+type ErrorKind string
+
+const (
+	// ErrSyntax is a journal line that is not a valid JSON record
+	// (wrong field types, unknown fields) anywhere except the final
+	// line — a torn final line is crash debris and is dropped, not an
+	// error (see Open).
+	ErrSyntax ErrorKind = "syntax"
+	// ErrHeader is a missing or malformed header line.
+	ErrHeader ErrorKind = "header"
+	// ErrVersion is a header naming a version this store does not speak.
+	ErrVersion ErrorKind = "version"
+	// ErrUnknownKind is a record kind outside the journal schema.
+	ErrUnknownKind ErrorKind = "unknown-kind"
+	// ErrUnknownJob is a cell or done record naming a job the journal
+	// never introduced with a job record.
+	ErrUnknownJob ErrorKind = "unknown-job"
+)
+
+// DecodeError is the typed journal decode failure: the 1-based line
+// number the journal was rejected at, the failure kind, and a
+// human-readable detail.
+type DecodeError struct {
+	Line int
+	Kind ErrorKind
+	Msg  string
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	if e.Line <= 0 {
+		return fmt.Sprintf("store: %s: %s", e.Kind, e.Msg)
+	}
+	return fmt.Sprintf("store: line %d: %s: %s", e.Line, e.Kind, e.Msg)
+}
+
+// The journal is JSONL: one JSON record per line, first line a header.
+// Three record kinds follow the header, mirroring the three commit
+// points of a job's life:
+//
+//	{"kind":"header","version":"v1"}
+//	{"kind":"job","id":...,"spec":...,"seed":...,"scale":...,"parallel":...,"created_ns":...}
+//	{"kind":"cell","job":...,"index":...,"key":...,"node":...,"stat":{...},"result":"<base64 gob>"}
+//	{"kind":"done","job":...,"state":...,"error":...}
+//
+// Records are idempotent under replay: a duplicated job record
+// re-applies the same metadata, a duplicated cell record overwrites the
+// same index with the same bytes, a duplicated done record re-marks the
+// same terminal state. Replaying a journal twice therefore yields the
+// same state as replaying it once.
+
+type headerRecord struct {
+	Kind    string `json:"kind"`
+	Version string `json:"version"`
+}
+
+type jobRecord struct {
+	Kind      string  `json:"kind"`
+	ID        string  `json:"id"`
+	Spec      string  `json:"spec"`
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+	Parallel  int     `json:"parallel"`
+	CreatedNS int64   `json:"created_ns"`
+}
+
+type cellRecord struct {
+	Kind   string            `json:"kind"`
+	Job    string            `json:"job"`
+	Index  int               `json:"index"`
+	Key    string            `json:"key"`
+	Node   string            `json:"node,omitempty"`
+	Stat   campaign.CellStat `json:"stat"`
+	Result []byte            `json:"result,omitempty"`
+}
+
+type doneRecord struct {
+	Kind  string `json:"kind"`
+	Job   string `json:"job"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// kindProbe is the first decode pass: only the record kind, so the
+// second pass can decode the full kind-specific shape strictly.
+type kindProbe struct {
+	Kind string `json:"kind"`
+}
+
+// decodeStrict decodes one journal line into v with unknown fields
+// rejected, so schema drift is caught at the line it happens on.
+func decodeStrict(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// replayState is the outcome of replaying one journal: every job the
+// journal introduced (terminal or not) keyed by ID, in first-seen
+// order.
+type replayState struct {
+	jobs  map[string]*Job
+	order []string
+}
+
+// replayJournal decodes and applies a whole journal. A torn final line
+// (no further non-blank content after it) is tolerated as crash debris:
+// replay stops at the last valid record and reports how many bytes of
+// valid prefix it consumed, so Open can drop the tail. Any other
+// malformed line is a *DecodeError naming its line number.
+func replayJournal(data []byte) (*replayState, error) {
+	st := &replayState{jobs: make(map[string]*Job)}
+	line := 0
+	off := 0
+	sawHeader := false
+	for off < len(data) {
+		end := bytes.IndexByte(data[off:], '\n')
+		last := end < 0
+		var raw []byte
+		if last {
+			raw = data[off:]
+			off = len(data)
+		} else {
+			raw = data[off : off+end]
+			off += end + 1
+		}
+		line++
+		raw = bytes.TrimSpace(raw)
+		if len(raw) == 0 {
+			continue
+		}
+
+		// A final line that is not even valid JSON is the torn tail of a
+		// crashed append: the fsync that would have acknowledged it never
+		// returned, so the writer never observed it as committed. Drop it
+		// and recover. A complete-but-wrong line (valid JSON failing the
+		// schema), or garbage followed by more content, is real
+		// corruption and errors below.
+		if tailBlank(data[off:]) && !json.Valid(raw) {
+			return st, nil
+		}
+
+		if !sawHeader {
+			var hd headerRecord
+			if err := decodeStrict(raw, &hd); err != nil || hd.Kind != "header" {
+				return nil, &DecodeError{Line: line, Kind: ErrHeader,
+					Msg: fmt.Sprintf("journal does not open with a header record: %s", firstOf(err, "wrong kind"))}
+			}
+			if hd.Version != Version {
+				return nil, &DecodeError{Line: line, Kind: ErrVersion,
+					Msg: fmt.Sprintf("unsupported journal version %q (this store speaks %q)", hd.Version, Version)}
+			}
+			sawHeader = true
+			continue
+		}
+
+		if err := st.apply(line, raw); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// apply decodes one post-header record and folds it into the state.
+func (st *replayState) apply(line int, raw []byte) error {
+	var probe kindProbe
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return &DecodeError{Line: line, Kind: ErrSyntax, Msg: err.Error()}
+	}
+	switch probe.Kind {
+	case "job":
+		var r jobRecord
+		if err := decodeStrict(raw, &r); err != nil {
+			return &DecodeError{Line: line, Kind: ErrSyntax, Msg: err.Error()}
+		}
+		j, ok := st.jobs[r.ID]
+		if !ok {
+			j = &Job{Cells: make(map[int]CellResult)}
+			st.jobs[r.ID] = j
+			st.order = append(st.order, r.ID)
+		}
+		j.Meta = JobMeta{
+			ID: r.ID, Spec: r.Spec, Seed: r.Seed, Scale: r.Scale,
+			Parallel: r.Parallel, Created: time.Unix(0, r.CreatedNS).UTC(),
+		}
+	case "cell":
+		var r cellRecord
+		if err := decodeStrict(raw, &r); err != nil {
+			return &DecodeError{Line: line, Kind: ErrSyntax, Msg: err.Error()}
+		}
+		j, ok := st.jobs[r.Job]
+		if !ok {
+			return &DecodeError{Line: line, Kind: ErrUnknownJob,
+				Msg: fmt.Sprintf("cell record for job %q the journal never introduced", r.Job)}
+		}
+		j.Cells[r.Index] = CellResult{Index: r.Index, Key: r.Key, Node: r.Node, Stat: r.Stat, Result: r.Result}
+	case "done":
+		var r doneRecord
+		if err := decodeStrict(raw, &r); err != nil {
+			return &DecodeError{Line: line, Kind: ErrSyntax, Msg: err.Error()}
+		}
+		j, ok := st.jobs[r.Job]
+		if !ok {
+			return &DecodeError{Line: line, Kind: ErrUnknownJob,
+				Msg: fmt.Sprintf("done record for job %q the journal never introduced", r.Job)}
+		}
+		j.State, j.Error = r.State, r.Error
+	default:
+		return &DecodeError{Line: line, Kind: ErrUnknownKind,
+			Msg: fmt.Sprintf("unknown record kind %q", probe.Kind)}
+	}
+	return nil
+}
+
+// tailBlank reports whether rest holds no further content — the
+// condition under which a malformed line is the journal's torn tail
+// rather than mid-log corruption.
+func tailBlank(rest []byte) bool {
+	return len(bytes.TrimSpace(rest)) == 0
+}
+
+// firstOf renders err, falling back to alt when err is nil.
+func firstOf(err error, alt string) string {
+	if err != nil {
+		return err.Error()
+	}
+	return alt
+}
